@@ -1,0 +1,147 @@
+//! SIFF's two-class egress scheduler: verified data packets get strict
+//! priority; explorers and legacy traffic share a single low-priority FIFO.
+//! There is **no** rate limit on either class and **no** per-destination
+//! balancing — the two omissions the TVA paper's Figures 9 and 10 exploit.
+
+use std::collections::VecDeque;
+
+use tva_sim::{Enqueued, QueueDisc, SimTime};
+use tva_wire::{CapPayload, Packet};
+
+/// The SIFF egress queue.
+pub struct SiffScheduler {
+    high: VecDeque<Packet>,
+    high_bytes: u64,
+    high_cap: usize,
+    low: VecDeque<Packet>,
+    low_bytes: u64,
+    low_cap: usize,
+    /// Packets dropped per class (high, low).
+    pub drops: [u64; 2],
+}
+
+impl SiffScheduler {
+    /// Creates a scheduler with the given packet-count capacities (ns-2
+    /// style: no small-packet bias under large-packet floods).
+    pub fn new(high_cap: usize, low_cap: usize) -> Self {
+        SiffScheduler {
+            high: VecDeque::new(),
+            high_bytes: 0,
+            high_cap,
+            low: VecDeque::new(),
+            low_bytes: 0,
+            low_cap,
+            drops: [0, 0],
+        }
+    }
+
+    /// From a [`super::SiffConfig`].
+    pub fn from_config(cfg: &super::SiffConfig) -> Self {
+        SiffScheduler::new(cfg.priority_queue_pkts, cfg.low_queue_pkts)
+    }
+
+    fn is_verified_data(pkt: &Packet) -> bool {
+        // The SIFF router drops bad marks, so any surviving Regular packet
+        // is verified. Requests (explorers) and legacy ride the low queue.
+        matches!(
+            pkt.cap.as_ref().map(|c| &c.payload),
+            Some(CapPayload::Regular { .. })
+        )
+    }
+}
+
+impl QueueDisc for SiffScheduler {
+    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> Enqueued {
+        let len = pkt.wire_len() as u64;
+        if Self::is_verified_data(&pkt) {
+            if self.high.len() >= self.high_cap {
+                self.drops[0] += 1;
+                return Enqueued::Dropped;
+            }
+            self.high_bytes += len;
+            self.high.push_back(pkt);
+        } else {
+            if self.low.len() >= self.low_cap {
+                self.drops[1] += 1;
+                return Enqueued::Dropped;
+            }
+            self.low_bytes += len;
+            self.low.push_back(pkt);
+        }
+        Enqueued::Accepted
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+        if let Some(p) = self.high.pop_front() {
+            self.high_bytes -= p.wire_len() as u64;
+            return Some(p);
+        }
+        if let Some(p) = self.low.pop_front() {
+            self.low_bytes -= p.wire_len() as u64;
+            return Some(p);
+        }
+        None
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.high.len() + self.low.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.high_bytes + self.low_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tva_wire::{Addr, CapHeader, FlowNonce, Grant, PacketId};
+
+    fn pkt(cap: Option<CapHeader>) -> Packet {
+        Packet {
+            id: PacketId(0),
+            src: Addr::new(1, 0, 0, 1),
+            dst: Addr::new(2, 0, 0, 2),
+            cap,
+            tcp: None,
+            payload_len: 100,
+        }
+    }
+
+    #[test]
+    fn data_preempts_explorers_and_legacy() {
+        let mut s = SiffScheduler::new(1000, 1000);
+        let now = SimTime::ZERO;
+        s.enqueue(pkt(None), now); // legacy
+        s.enqueue(pkt(Some(CapHeader::request())), now); // explorer
+        s.enqueue(
+            pkt(Some(CapHeader::regular_with_caps(
+                FlowNonce::new(0),
+                Grant::from_parts(1, 1),
+                vec![],
+            ))),
+            now,
+        );
+        let first = s.dequeue(now).unwrap();
+        assert!(matches!(
+            first.cap.as_ref().map(|c| &c.payload),
+            Some(CapPayload::Regular { .. })
+        ));
+        // Low queue drains FIFO: legacy then explorer.
+        assert!(s.dequeue(now).unwrap().cap.is_none());
+        assert!(s.dequeue(now).unwrap().cap.is_some());
+        assert!(s.dequeue(now).is_none());
+    }
+
+    #[test]
+    fn explorers_share_fate_with_legacy_floods() {
+        // Fill the low queue with legacy; an explorer then drops — the
+        // weakness Figure 8/9 shows for SIFF.
+        let mut s = SiffScheduler::new(1000, 2);
+        let now = SimTime::ZERO;
+        assert!(s.enqueue(pkt(None), now).is_accepted());
+        assert!(s.enqueue(pkt(None), now).is_accepted());
+        assert_eq!(s.enqueue(pkt(Some(CapHeader::request())), now), Enqueued::Dropped);
+        assert_eq!(s.drops[1], 1);
+    }
+}

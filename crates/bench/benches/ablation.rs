@@ -1,0 +1,179 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the flow-nonce fast path vs always validating capabilities,
+//! * hash function costs (SipHash pre-capability vs SHA-1 second hash),
+//! * the DRR scheduler vs a plain FIFO,
+//! * flow-table operation costs at increasing occupancy,
+//! * wire codec encode/decode.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tva_bench::{PktType, Rig};
+use tva_crypto::{keyed56, second56, SipKey};
+use tva_sim::{Drr, QueueDisc, SimTime};
+use tva_wire::{decode, encode, Addr, CapHeader, CapValue, FlowNonce, Grant, Packet, PacketId};
+
+fn bench_fast_path_vs_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_nonce_fast_path");
+    // With the cache: nonce match only.
+    let rig = std::cell::RefCell::new(Rig::new(65_536, 50_000));
+    group.bench_function("cached_nonce", |b| {
+        b.iter_batched(
+            || {
+                let mut rig = rig.borrow_mut();
+                rig.rewarm();
+                (0..256).map(|_| rig.make(PktType::RegularCached)).collect::<Vec<_>>()
+            },
+            |mut pkts| {
+                let mut rig = rig.borrow_mut();
+                for p in &mut pkts {
+                    rig.process(PktType::RegularCached, p);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Without: the two-hash validation every packet (what SIFF-style
+    // always-carried capabilities would cost with long keys).
+    let rig2 = std::cell::RefCell::new(Rig::new(65_536, 50_000));
+    group.bench_function("always_validate", |b| {
+        b.iter_batched(
+            || {
+                let mut rig2 = rig2.borrow_mut();
+                rig2.rewarm();
+                (0..256).map(|_| rig2.make(PktType::RegularUncached)).collect::<Vec<_>>()
+            },
+            |mut pkts| {
+                let mut rig2 = rig2.borrow_mut();
+                for p in &mut pkts {
+                    rig2.process(PktType::RegularUncached, p);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hashes");
+    let key = SipKey::from_halves(1, 2);
+    let input = [0u8; 9]; // src + dst + ts
+    group.bench_function("siphash_precap", |b| {
+        b.iter(|| std::hint::black_box(keyed56(key, std::hint::black_box(&input))))
+    });
+    let precap = 0x1234_5678_9abc_def0u64.to_be_bytes();
+    group.bench_function("sha1_capability", |b| {
+        b.iter(|| std::hint::black_box(second56(&[std::hint::black_box(&precap), &[100, 0, 10]])))
+    });
+    group.finish();
+}
+
+fn data_packet(src: u32, dst: u32) -> Packet {
+    Packet {
+        id: PacketId(0),
+        src: Addr(src),
+        dst: Addr(dst),
+        cap: None,
+        tcp: None,
+        payload_len: 1000,
+    }
+}
+
+fn bench_drr_vs_fifo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scheduler");
+    group.bench_function("drr_64_queues", |b| {
+        b.iter_batched(
+            || {
+                let mut d: Drr<Addr> = Drr::new(1500, 1 << 20, 128);
+                for i in 0..640 {
+                    d.enqueue(Addr(i % 64), data_packet(1, i % 64));
+                }
+                d
+            },
+            |mut d| {
+                while let Some(p) = d.dequeue() {
+                    std::hint::black_box(&p);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("fifo", |b| {
+        b.iter_batched(
+            || {
+                let mut q = tva_sim::DropTail::new(1 << 30);
+                for i in 0..640 {
+                    q.enqueue(data_packet(1, i % 64), SimTime::ZERO);
+                }
+                q
+            },
+            |mut q| {
+                while let Some(p) = q.dequeue(SimTime::ZERO) {
+                    std::hint::black_box(&p);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_flow_table_occupancy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_flow_table");
+    for occupancy in [1_000usize, 10_000, 100_000] {
+        let rig = std::cell::RefCell::new(Rig::new(occupancy + 10, occupancy as u32));
+        // Fill to the target occupancy.
+        {
+            let mut rig = rig.borrow_mut();
+            for _ in 0..occupancy {
+                let mut p = rig.make(PktType::RegularUncached);
+                rig.process(PktType::RegularUncached, &mut p);
+            }
+        }
+        group.bench_function(format!("validate_at_{occupancy}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut rig = rig.borrow_mut();
+                    rig.rewarm();
+                    (0..64).map(|_| rig.make(PktType::RegularUncached)).collect::<Vec<_>>()
+                },
+                |mut pkts| {
+                    let mut rig = rig.borrow_mut();
+                    for p in &mut pkts {
+                        rig.process(PktType::RegularUncached, p);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_codec");
+    let caps = vec![CapValue::new(10, 0xAABBCC), CapValue::new(200, 0x112233445566)];
+    let header = CapHeader::regular_with_caps(
+        FlowNonce::new(0xFACE_CAFE),
+        Grant::from_parts(100, 10),
+        caps,
+    );
+    group.bench_function("encode_regular_2caps", |b| {
+        b.iter(|| std::hint::black_box(encode(std::hint::black_box(&header), 6)))
+    });
+    let bytes = encode(&header, 6);
+    group.bench_function("decode_regular_2caps", |b| {
+        b.iter(|| std::hint::black_box(decode(std::hint::black_box(&bytes)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fast_path_vs_validation,
+    bench_hashes,
+    bench_drr_vs_fifo,
+    bench_flow_table_occupancy,
+    bench_codec
+);
+criterion_main!(benches);

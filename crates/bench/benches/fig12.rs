@@ -1,0 +1,34 @@
+//! Criterion version of Figure 12: sustained forwarding capacity by packet
+//! type, reported as throughput (packets/second = the saturation plateau of
+//! the paper's output-vs-input curves).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use tva_bench::{PktType, Rig};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_peak_rate");
+    group.throughput(Throughput::Elements(256));
+    for t in PktType::ALL {
+        let rig = std::cell::RefCell::new(Rig::new(65_536, 50_000));
+        group.bench_function(t.key(), |b| {
+            b.iter_batched(
+                || {
+                    let mut rig = rig.borrow_mut();
+                    rig.rewarm();
+                    (0..256).map(|_| rig.make(t)).collect::<Vec<_>>()
+                },
+                |mut pkts| {
+                    let mut rig = rig.borrow_mut();
+                    for p in &mut pkts {
+                        rig.process(t, p);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

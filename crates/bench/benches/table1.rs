@@ -1,0 +1,31 @@
+//! Criterion version of Table 1: per-packet processing cost by type.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tva_bench::{PktType, Rig};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    for t in PktType::ALL {
+        let rig = std::cell::RefCell::new(Rig::new(65_536, 50_000));
+        group.bench_function(t.key(), |b| {
+            b.iter_batched(
+                || {
+                    let mut rig = rig.borrow_mut();
+                    rig.rewarm();
+                    (0..256).map(|_| rig.make(t)).collect::<Vec<_>>()
+                },
+                |mut pkts| {
+                    let mut rig = rig.borrow_mut();
+                    for p in &mut pkts {
+                        rig.process(t, p);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,315 @@
+//! Bounded router state: the flow cache and the ttl algorithm of §3.6.
+//!
+//! A router keeps state **only** for flows with valid capabilities that send
+//! faster than `N/T`. Each cache entry carries a ttl denominated in time:
+//! charging a packet of `L` bytes adds `L × T / N` seconds. An entry whose
+//! ttl has run out may be reclaimed to admit a new flow; an entry with
+//! remaining ttl may **never** be evicted — that is what makes the byte
+//! bound provable:
+//!
+//! > "the total bytes used for the capability must be at most
+//! > `T/T × N = N` bytes … at most `N + N = 2N` bytes can be sent before
+//! > the capability is expired."
+//!
+//! The table is sized to `C / (N/T)min` records so that, with the minimum
+//! rate enforced at validation, a reclaimable entry always exists when a new
+//! legitimate fast flow needs one — attackers cannot exhaust the memory
+//! (invariant 2 of DESIGN.md).
+
+use std::collections::{BTreeSet, HashMap};
+
+use tva_sim::{SimDuration, SimTime};
+use tva_wire::{CapValue, FlowKey, FlowNonce, Grant};
+
+/// One cached flow (§4.3: "the valid capability, the flow nonce, the
+/// authorized bytes to send (N), the valid time (T), and the ttl and byte
+/// count").
+#[derive(Debug, Clone)]
+pub struct FlowEntry {
+    /// The capability this router validated for the flow.
+    pub cap: CapValue,
+    /// The sender's flow nonce; nonce-only packets must match it.
+    pub nonce: FlowNonce,
+    /// The authorized (N, T).
+    pub grant: Grant,
+    /// Bytes charged against `N` by this entry.
+    pub bytes_used: u64,
+    /// The instant the entry's ttl reaches zero (reclaim eligibility).
+    pub ttl_expires: SimTime,
+}
+
+/// Outcome of charging a packet to a cached flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Charge {
+    /// Within budget; packet is authorized.
+    Ok,
+    /// The byte budget `N` is exhausted; packet must be demoted.
+    OverBudget,
+}
+
+/// The bounded flow cache.
+pub struct FlowTable {
+    entries: HashMap<FlowKey, FlowEntry>,
+    /// Reclaim index ordered by ttl expiry (time, key).
+    by_expiry: BTreeSet<(SimTime, FlowKey)>,
+    max_entries: usize,
+    /// Cumulative entries reclaimed to admit new flows.
+    pub reclaims: u64,
+    /// Cumulative admissions refused because every entry was still live.
+    pub admission_failures: u64,
+}
+
+impl FlowTable {
+    /// Creates a table bounded at `max_entries` records.
+    pub fn new(max_entries: usize) -> Self {
+        assert!(max_entries > 0);
+        FlowTable {
+            entries: HashMap::new(),
+            by_expiry: BTreeSet::new(),
+            max_entries,
+            reclaims: 0,
+            admission_failures: 0,
+        }
+    }
+
+    /// Looks up the entry for `flow`.
+    pub fn get(&self, flow: FlowKey) -> Option<&FlowEntry> {
+        self.entries.get(&flow)
+    }
+
+    /// Charges `len` bytes to the flow's entry at time `now`: updates the
+    /// byte count and extends the ttl by the packet's time-equivalent value
+    /// `len × T / N` (§3.6). Returns [`Charge::OverBudget`] without
+    /// extending anything if the budget would be exceeded.
+    pub fn charge(&mut self, flow: FlowKey, len: u32, now: SimTime) -> Charge {
+        let Some(entry) = self.entries.get_mut(&flow) else {
+            return Charge::OverBudget; // caller must have created state
+        };
+        if entry.bytes_used + len as u64 > entry.grant.n.bytes() {
+            return Charge::OverBudget;
+        }
+        entry.bytes_used += len as u64;
+        let old_expiry = entry.ttl_expires;
+        let add = ttl_value(len, entry.grant);
+        // ttl decrements as time passes: extend from max(now, old expiry).
+        entry.ttl_expires = old_expiry.max(now) + add;
+        let new_expiry = entry.ttl_expires;
+        self.by_expiry.remove(&(old_expiry, flow));
+        self.by_expiry.insert((new_expiry, flow));
+        Charge::Ok
+    }
+
+    /// Installs state for a newly validated flow, charging its first packet
+    /// of `len` bytes. Fails (returns `false`) when the table is full of
+    /// entries whose ttl has not yet reached zero, or when the capability's
+    /// byte budget is already spent.
+    ///
+    /// Byte counts are charged against the **capability**, not the cache
+    /// entry: replacing an entry with the *same* capability (e.g. an
+    /// attacker cycling flow nonces to force the replace path) carries the
+    /// spent bytes over, so nonce churn cannot launder the budget. Only a
+    /// genuinely renewed capability (different value) starts a fresh
+    /// budget.
+    pub fn create(
+        &mut self,
+        flow: FlowKey,
+        cap: CapValue,
+        nonce: FlowNonce,
+        grant: Grant,
+        len: u32,
+        now: SimTime,
+    ) -> bool {
+        let mut carried: u64 = 0;
+        if let Some(old) = self.entries.get(&flow) {
+            if old.cap == cap {
+                carried = old.bytes_used;
+            }
+            if carried + len as u64 > grant.n.bytes() {
+                return false; // the same capability's budget is spent
+            }
+            let old = self.entries.remove(&flow).expect("checked above");
+            // Replacing our own old entry (e.g. renewed capability) is
+            // always allowed and is not an eviction of another flow.
+            self.by_expiry.remove(&(old.ttl_expires, flow));
+        } else if len as u64 > grant.n.bytes() {
+            return false; // single packet bigger than the whole budget
+        } else if self.entries.len() >= self.max_entries {
+            // Reclaim the most-expired entry if its ttl has reached zero;
+            // never evict live state.
+            match self.by_expiry.first().copied() {
+                Some((expiry, victim)) if expiry <= now => {
+                    self.by_expiry.remove(&(expiry, victim));
+                    self.entries.remove(&victim);
+                    self.reclaims += 1;
+                }
+                _ => {
+                    self.admission_failures += 1;
+                    return false;
+                }
+            }
+        }
+        let ttl_expires = now + ttl_value(len, grant);
+        self.entries.insert(
+            flow,
+            FlowEntry { cap, nonce, grant, bytes_used: carried + len as u64, ttl_expires },
+        );
+        self.by_expiry.insert((ttl_expires, flow));
+        true
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured record bound.
+    pub fn capacity(&self) -> usize {
+        self.max_entries
+    }
+}
+
+/// The time-equivalent value of `len` bytes under `grant`: `len × T / N`
+/// seconds.
+fn ttl_value(len: u32, grant: Grant) -> SimDuration {
+    let n = grant.n.bytes().max(1);
+    let t_ns = grant.t.secs() as u128 * 1_000_000_000;
+    SimDuration::from_nanos((len as u128 * t_ns / n as u128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tva_wire::Addr;
+
+    fn flow(i: u32) -> FlowKey {
+        FlowKey::new(Addr(i), Addr(0x0A00_0001))
+    }
+
+    fn cap() -> CapValue {
+        CapValue::new(1, 0xABCD)
+    }
+
+    fn grant_32kb_10s() -> Grant {
+        Grant::from_parts(32, 10)
+    }
+
+    #[test]
+    fn ttl_value_formula() {
+        // 1024 bytes under 32KB/10s: 1024 × 10 / 32768 = 0.3125 s.
+        let d = ttl_value(1024, grant_32kb_10s());
+        assert_eq!(d.as_nanos(), 312_500_000);
+    }
+
+    #[test]
+    fn create_and_charge_within_budget() {
+        let mut t = FlowTable::new(10);
+        let g = grant_32kb_10s();
+        assert!(t.create(flow(1), cap(), FlowNonce::new(7), g, 1000, SimTime::ZERO));
+        for _ in 0..31 {
+            assert_eq!(t.charge(flow(1), 1000, SimTime::ZERO), Charge::Ok);
+        }
+        // 32 KB budget = 32768 bytes; 32 packets × 1000 = 32000 used; one
+        // more would exceed.
+        assert_eq!(t.charge(flow(1), 1000, SimTime::ZERO), Charge::OverBudget);
+        assert_eq!(t.get(flow(1)).unwrap().bytes_used, 32_000);
+    }
+
+    #[test]
+    fn live_entries_are_never_evicted() {
+        let mut t = FlowTable::new(2);
+        let g = grant_32kb_10s();
+        let now = SimTime::ZERO;
+        assert!(t.create(flow(1), cap(), FlowNonce::new(1), g, 10_000, now));
+        assert!(t.create(flow(2), cap(), FlowNonce::new(2), g, 10_000, now));
+        // Both entries have ~3 s of ttl; a third flow must be refused.
+        assert!(!t.create(flow(3), cap(), FlowNonce::new(3), g, 1000, now));
+        assert_eq!(t.admission_failures, 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn expired_entries_are_reclaimed() {
+        let mut t = FlowTable::new(2);
+        let g = grant_32kb_10s();
+        assert!(t.create(flow(1), cap(), FlowNonce::new(1), g, 1000, SimTime::ZERO));
+        assert!(t.create(flow(2), cap(), FlowNonce::new(2), g, 1000, SimTime::ZERO));
+        // 1000 bytes → ttl ≈ 0.305 s; at t = 1 s both are reclaimable.
+        let later = SimTime::from_secs(1);
+        assert!(t.create(flow(3), cap(), FlowNonce::new(3), g, 1000, later));
+        assert_eq!(t.reclaims, 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn replacing_own_entry_never_counts_as_eviction() {
+        let mut t = FlowTable::new(1);
+        let g = grant_32kb_10s();
+        assert!(t.create(flow(1), cap(), FlowNonce::new(1), g, 1000, SimTime::ZERO));
+        // Renewed capability (different value) for the same flow replaces
+        // in place and restarts the budget.
+        let cap2 = CapValue::new(2, 0x9999);
+        assert!(t.create(flow(1), cap2, FlowNonce::new(2), g, 1000, SimTime::ZERO));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(flow(1)).unwrap().nonce, FlowNonce::new(2));
+        assert_eq!(t.get(flow(1)).unwrap().bytes_used, 1000, "budget restarts");
+        assert_eq!(t.reclaims, 0);
+    }
+
+    #[test]
+    fn nonce_churn_cannot_launder_the_budget() {
+        // An attacker resending the *same* capability under fresh nonces
+        // forces the replace path every packet; the byte count must carry
+        // over and trip N all the same.
+        let mut t = FlowTable::new(4);
+        let g = grant_32kb_10s(); // 32 KB
+        let mut accepted = 0u64;
+        for i in 0..100 {
+            if t.create(flow(1), cap(), FlowNonce::new(i), g, 1000, SimTime::ZERO) {
+                accepted += 1000;
+            }
+        }
+        assert!(accepted <= g.n.bytes(), "laundered {accepted} bytes past N");
+        // A genuinely renewed capability starts fresh.
+        assert!(t.create(flow(1), CapValue::new(9, 0x42), FlowNonce::new(500), g, 1000, SimTime::ZERO));
+    }
+
+    #[test]
+    fn charge_extends_ttl_from_now_when_idle() {
+        let mut t = FlowTable::new(4);
+        let g = grant_32kb_10s();
+        t.create(flow(1), cap(), FlowNonce::new(1), g, 1000, SimTime::ZERO);
+        let e1 = t.get(flow(1)).unwrap().ttl_expires;
+        // Charge long after the ttl ran out: extension is from `now`, not
+        // from the stale expiry (ttl cannot go negative).
+        let now = SimTime::from_secs(5);
+        t.charge(flow(1), 1000, now);
+        let e2 = t.get(flow(1)).unwrap().ttl_expires;
+        assert!(e2 > now && e2 < now + SimDuration::from_secs(1));
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    fn slow_flow_needs_no_state_for_more_than_its_packets() {
+        // A flow sending exactly at N/T keeps its ttl roughly constant: each
+        // packet adds exactly the inter-packet gap.
+        let mut t = FlowTable::new(4);
+        let g = grant_32kb_10s(); // N/T = 3276.8 B/s
+        let mut now = SimTime::ZERO;
+        t.create(flow(1), cap(), FlowNonce::new(1), g, 1000, now);
+        let gap = SimDuration::from_nanos(305_175_781); // 1000 B at N/T
+        for _ in 0..20 {
+            now += gap;
+            t.charge(flow(1), 1000, now);
+        }
+        let slack = t.get(flow(1)).unwrap().ttl_expires.since(now);
+        assert!(
+            slack < SimDuration::from_secs(1),
+            "ttl stays ≈ one packet's worth for an at-rate flow, got {slack:?}"
+        );
+    }
+}

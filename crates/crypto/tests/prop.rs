@@ -1,0 +1,66 @@
+//! Property-based tests for the crypto substrate.
+
+use proptest::prelude::*;
+use tva_crypto::{keyed56, second56, SecretSchedule, Sha1, SipKey, MASK56};
+
+proptest! {
+    /// SHA-1 over arbitrary data must give identical digests regardless of
+    /// how the input is split across `update` calls.
+    #[test]
+    fn sha1_incremental_agrees(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                               split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut a = Sha1::new();
+        a.update(&data);
+        let mut b = Sha1::new();
+        b.update(&data[..split]);
+        b.update(&data[split..]);
+        prop_assert_eq!(a.finalize(), b.finalize());
+    }
+
+    /// keyed56 is a function of (key, data): same inputs, same output; and
+    /// output always fits in 56 bits.
+    #[test]
+    fn keyed56_deterministic_and_bounded(k0: u64, k1: u64,
+                                         data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let k = SipKey::from_halves(k0, k1);
+        let h1 = keyed56(k, &data);
+        let h2 = keyed56(k, &data);
+        prop_assert_eq!(h1, h2);
+        prop_assert_eq!(h1 & !MASK56, 0);
+    }
+
+    /// Flipping any single bit of the input changes the keyed hash (with
+    /// overwhelming probability — an equality here would be a 2^-56 event,
+    /// so we treat it as failure).
+    #[test]
+    fn keyed56_bit_sensitivity(k0: u64, k1: u64,
+                               data in proptest::collection::vec(any::<u8>(), 1..64),
+                               bit in 0usize..512) {
+        let k = SipKey::from_halves(k0, k1);
+        let mut flipped = data.clone();
+        let idx = bit % (data.len() * 8);
+        flipped[idx / 8] ^= 1 << (idx % 8);
+        prop_assert_ne!(keyed56(k, &data), keyed56(k, &flipped));
+    }
+
+    /// second56 distinguishes part boundaries only via fixed-width fields;
+    /// with equal concatenation it must agree (it hashes the byte stream).
+    #[test]
+    fn second56_is_stream_hash(a in proptest::collection::vec(any::<u8>(), 0..64),
+                               b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let joined: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(second56(&[&a, &b]), second56(&[&joined]));
+    }
+
+    /// Within a stamp's lifetime the validator recovers exactly the minting
+    /// key; two full rotations later it never does.
+    #[test]
+    fn secret_schedule_recovery(seed: u64, mint in 0u64..100_000, dt in 0u64..127) {
+        let s = SecretSchedule::from_seed(seed);
+        let ts = s.timestamp(mint);
+        // dt < 128 is always within the remaining lifetime (minimum is 128+1).
+        prop_assert_eq!(s.validate_key(ts, mint + dt), s.mint_key(mint));
+        prop_assert_ne!(s.validate_key(ts, mint + 256 + dt), s.mint_key(mint));
+    }
+}

@@ -1,0 +1,27 @@
+//! Runs the entire evaluation: Figures 8–11 and the §2 strawmen. (Table 1
+//! and Figure 12 are machine benchmarks — run `cargo run --release -p
+//! tva-bench --bin table1` / `--bin fig12` separately.)
+//!
+//! Run: `cargo run --release -p tva-experiments --bin all [-- --full]`
+
+use tva_experiments::figrun::{run_sweep_figure, run_timeseries_figure};
+use tva_experiments::figures::{fig10, fig11, fig8, fig9, Fidelity};
+
+fn main() {
+    let fidelity = Fidelity::from_args();
+    run_sweep_figure("fig8", "Figure 8: legacy traffic floods", fig8(fidelity));
+    run_sweep_figure("fig9", "Figure 9: request packet floods", fig9(fidelity));
+    run_sweep_figure(
+        "fig10",
+        "Figure 10: authorized traffic floods (colluder)",
+        fig10(fidelity),
+    );
+    run_timeseries_figure(
+        "fig11",
+        "Figure 11: imprecise authorization policies",
+        fig11(fidelity),
+    );
+    println!("\nAll simulation figures regenerated. For Table 1 / Figure 12:");
+    println!("  cargo run --release -p tva-bench --bin table1");
+    println!("  cargo run --release -p tva-bench --bin fig12");
+}

@@ -1,0 +1,14 @@
+//! Figure 9: request packet floods.
+//!
+//! Attackers flood capability-request packets. TVA rate-limits and
+//! fair-queues requests per path identifier, so legitimate requests still
+//! pass; SIFF treats requests as legacy and fails like Figure 8; pushback
+//! and the Internet see them as ordinary data.
+
+use tva_experiments::figures::{fig9, Fidelity};
+use tva_experiments::figrun::run_sweep_figure;
+
+fn main() {
+    let fidelity = Fidelity::from_args();
+    run_sweep_figure("fig9", "Figure 9: request packet floods", fig9(fidelity));
+}

@@ -1,0 +1,158 @@
+//! Shared driver for the figure binaries: run a grid, print the paper's
+//! rows, chart the series, write TSVs under `results/`.
+
+use std::path::PathBuf;
+
+use crate::report::{ascii_chart, table, write_tsv, Series};
+use crate::scenario::{ScenarioConfig, ScenarioResult, Scheme};
+use crate::sweep::run_all;
+
+/// Output directory for TSVs (override with `TVA_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("TVA_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Runs a (scheme × attacker-count) grid and emits the two panels every
+/// sweep figure in the paper has: completion fraction and mean transfer
+/// time versus number of attackers.
+pub fn run_sweep_figure(name: &str, title: &str, configs: Vec<ScenarioConfig>) {
+    eprintln!("== {name}: {title} ({} runs) ==", configs.len());
+    let results = run_all(configs);
+
+    let mut rows = Vec::new();
+    let mut frac_series: Vec<Series> = Vec::new();
+    let mut time_series: Vec<Series> = Vec::new();
+    for &scheme in &Scheme::ALL {
+        let pts: Vec<&(ScenarioConfig, ScenarioResult)> =
+            results.iter().filter(|(c, _)| c.scheme == scheme).collect();
+        if pts.is_empty() {
+            continue;
+        }
+        let mut fr = Vec::new();
+        let mut tm = Vec::new();
+        for (c, r) in pts {
+            rows.push(vec![
+                scheme.name().to_string(),
+                c.n_attackers.to_string(),
+                format!("{:.3}", r.summary.completion_fraction),
+                format!("{:.3}", r.summary.avg_completion_secs),
+                format!("{:.3}", r.summary.p95_secs),
+                r.summary.attempts.to_string(),
+                format!("{:.3}", r.bottleneck_drop_rate),
+                format!("{:.3}", r.bottleneck_utilization),
+            ]);
+            fr.push((c.n_attackers as f64, r.summary.completion_fraction));
+            tm.push((c.n_attackers as f64, r.summary.avg_completion_secs));
+        }
+        frac_series.push(Series { label: scheme.name().into(), points: fr });
+        time_series.push(Series { label: scheme.name().into(), points: tm });
+    }
+
+    let headers =
+        ["scheme", "attackers", "fraction", "time_s", "p95_s", "attempts", "drop_rate", "util"];
+    println!("{title}\n");
+    println!("{}", table(&headers, &rows));
+    println!(
+        "{}",
+        ascii_chart(&format!("{name}: fraction of completion vs attackers"), &frac_series, 60, 12)
+    );
+    println!(
+        "{}",
+        ascii_chart(&format!("{name}: transfer time (s) vs attackers"), &time_series, 60, 12)
+    );
+
+    let path = results_dir().join(format!("{name}.tsv"));
+    match write_tsv(&path, &headers, &rows) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    write_json(name, &headers, &rows);
+}
+
+/// Writes rows as a JSON array of string-valued records next to the TSV.
+fn write_json(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let records: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|row| {
+            let map: serde_json::Map<String, serde_json::Value> = headers
+                .iter()
+                .zip(row)
+                .map(|(h, v)| (h.to_string(), serde_json::Value::String(v.clone())))
+                .collect();
+            serde_json::Value::Object(map)
+        })
+        .collect();
+    let path = results_dir().join(format!("{name}.json"));
+    match std::fs::write(&path, serde_json::to_string_pretty(&records).expect("serializable")) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Runs the Figure 11 time-series experiments and emits transfer time vs
+/// transfer start time for each (scheme, attack shape).
+pub fn run_timeseries_figure(name: &str, title: &str, configs: Vec<ScenarioConfig>) {
+    eprintln!("== {name}: {title} ({} runs) ==", configs.len());
+    let results = run_all(configs);
+
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (c, r) in &results {
+        let label = format!(
+            "{} {}",
+            c.scheme.name(),
+            match c.attack {
+                crate::scenario::Attack::ImpreciseAllAtOnce => "all-at-once",
+                crate::scenario::Attack::ImpreciseStaged { .. } => "staged",
+                _ => "other",
+            }
+        );
+        let mut pts = Vec::new();
+        for t in &r.transfers {
+            let start = t.started.as_secs_f64();
+            // Failed transfers chart at the abort ceiling so outages are
+            // visible, matching how the paper's plot saturates.
+            let dur = t.duration_secs().unwrap_or(10.0);
+            pts.push((start, dur));
+            rows.push(vec![
+                label.clone(),
+                format!("{start:.2}"),
+                t.duration_secs().map_or("abort".into(), |d| format!("{d:.3}")),
+            ]);
+        }
+        series.push(Series { label, points: pts });
+    }
+
+    println!("{title}\n");
+    for s in &series {
+        let worst = s.points.iter().map(|&(_, d)| d).fold(0.0, f64::max);
+        let mean = if s.points.is_empty() {
+            0.0
+        } else {
+            s.points.iter().map(|&(_, d)| d).sum::<f64>() / s.points.len() as f64
+        };
+        println!("{:<24} transfers={:<5} mean={mean:.2}s worst={worst:.2}s", s.label, s.points.len());
+    }
+    println!();
+    for s in &series {
+        println!(
+            "{}",
+            ascii_chart(
+                &format!("{name}: transfer time vs start time — {}", s.label),
+                std::slice::from_ref(s),
+                64,
+                10
+            )
+        );
+    }
+
+    let path = results_dir().join(format!("{name}.tsv"));
+    let headers = ["series", "start_s", "duration_s"];
+    match write_tsv(&path, &headers, &rows) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    write_json(name, &headers, &rows);
+}

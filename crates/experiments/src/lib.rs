@@ -1,0 +1,31 @@
+//! # tva-experiments
+//!
+//! The evaluation harness: declarative scenarios for the Figure 7 dumbbell,
+//! attacker models for every §5 attack, parallel parameter sweeps, and
+//! reporting that regenerates each table and figure of the paper.
+//!
+//! Regenerate a figure with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p tva-experiments --bin fig8 [-- --full]
+//! ```
+//!
+//! Each binary prints the figure's rows and writes TSV + ASCII charts under
+//! `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figrun;
+pub mod figures;
+pub mod report;
+pub mod scenario;
+pub mod sweep;
+
+pub use figures::{fig10, fig11, fig8, fig9, Fidelity};
+pub use report::{ascii_chart, table, write_tsv, Series};
+pub use scenario::{
+    attacker_addr, run, run_inspect, Attack, BuiltNodes, ScenarioConfig, ScenarioResult, Scheme,
+    COLLUDER, DEST,
+};
+pub use sweep::run_all;

@@ -1,0 +1,657 @@
+//! The Figure 7 testbed: one declarative configuration that assembles the
+//! dumbbell topology for any of the four schemes and any of the paper's
+//! attacks, runs it, and collects the §5 metrics.
+//!
+//! ```text
+//! 10 users ───┐                         ┌─── destination
+//!             ├── R1 ══ 10 Mb/s ══ R2 ──┤
+//! 1–100 atk ──┘      (bottleneck)       └─── colluder
+//! ```
+//!
+//! All access links are 100 Mb/s with 10 ms delay; the bottleneck is
+//! 10 Mb/s with 10 ms delay, giving the paper's 60 ms RTT.
+
+use tva_baselines::{
+    EgressSpec, LegacyRouterNode, PushbackConfig, PushbackRouterNode, SiffConfig, SiffRouterNode,
+    SiffScheduler, SiffShim,
+};
+use tva_core::{
+    AllowAll, AuthorizedFlooder, ClientPolicy, HostConfig, RouterConfig, ServerPolicy,
+    TvaHostShim, TvaRouterNode, TvaScheduler,
+};
+use tva_sim::{
+    ChannelId, DropTail, LinkHandle, NodeId, QueueDisc, SimDuration, SimTime,
+    TopologyBuilder,
+};
+use tva_transport::{
+    summarize, ClientNode, FloodNode, NullShim, ServerNode, Shim, TcpConfig, TransferRecord,
+    TransferSummary, TOKEN_START,
+};
+use tva_wire::{Addr, CapHeader, Grant, Packet, PacketId};
+
+/// Which DoS-defense architecture the network runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// The full Traffic Validation Architecture.
+    Tva,
+    /// SIFF (stateless 2-bit marks).
+    Siff,
+    /// Pushback (aggregate congestion control).
+    Pushback,
+    /// The unmodified Internet.
+    Internet,
+}
+
+impl Scheme {
+    /// All four, in the paper's plotting order.
+    pub const ALL: [Scheme; 4] = [Scheme::Internet, Scheme::Siff, Scheme::Pushback, Scheme::Tva];
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Tva => "TVA",
+            Scheme::Siff => "SIFF",
+            Scheme::Pushback => "pushback",
+            Scheme::Internet => "Internet",
+        }
+    }
+}
+
+/// The attack pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attack {
+    /// No attackers (baseline).
+    None,
+    /// Each attacker floods legacy data packets at the destination (§5.1).
+    LegacyFlood,
+    /// Each attacker floods request packets at the destination (§5.2).
+    RequestFlood,
+    /// Attackers obtain capabilities from a colluder behind the bottleneck
+    /// and flood authorized traffic at it (§5.3).
+    AuthorizedColluder,
+    /// Attackers obtain one initial grant from the destination itself
+    /// (imprecise policy), all flooding at once (§5.4).
+    ImpreciseAllAtOnce,
+    /// As above, but attackers flood in `groups` successive waves (§5.4).
+    ImpreciseStaged {
+        /// Number of waves.
+        groups: usize,
+        /// Seconds per wave.
+        wave_secs: u64,
+    },
+    /// Everything at once (an extension beyond the paper): one third of the
+    /// attackers flood legacy traffic, one third flood requests, one third
+    /// flood colluder-authorized traffic — all §5 vectors simultaneously.
+    Combined,
+}
+
+/// Scenario parameters (defaults reproduce the paper's setup).
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Attack pattern.
+    pub attack: Attack,
+    /// Number of attacking hosts.
+    pub n_attackers: usize,
+    /// Number of legitimate users.
+    pub n_users: usize,
+    /// Transfers each user performs.
+    pub transfers_per_user: usize,
+    /// Transfer size in bytes (paper: 20 KB).
+    pub file_size: u32,
+    /// Bottleneck capacity (paper: 10 Mb/s).
+    pub bottleneck_bps: u64,
+    /// Attacker rate (paper: 1 Mb/s each).
+    pub attacker_rate_bps: u64,
+    /// TVA request-channel fraction (paper simulations: 1%).
+    pub request_fraction: f64,
+    /// Grant handed out by the destination (Figure 11: 32 KB / 10 s).
+    pub grant: Grant,
+    /// When attackers start.
+    pub attack_start: SimTime,
+    /// Simulation horizon.
+    pub duration: SimTime,
+    /// Unresolved transfers started more than this long before the horizon
+    /// count as failures; younger ones are excluded as indeterminate.
+    pub failure_grace: SimDuration,
+    /// Transfers started before this instant are excluded from the metrics
+    /// (warm-up: the paper's 1000-transfer runs dilute the capability
+    /// bootstrap transient; shorter runs must skip it explicitly).
+    pub measure_after: SimTime,
+    /// RNG seed.
+    pub seed: u64,
+    /// SIFF key rotation (Figure 11 uses 3 s with no previous-key grace).
+    pub siff_key_rotation: SimDuration,
+    /// SIFF: accept marks from the previous key generation.
+    pub siff_accept_previous: bool,
+    /// Whether the destination pre-denies attacker addresses (the §5.2
+    /// assumption that it can distinguish attacker requests).
+    pub deny_attackers: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            scheme: Scheme::Tva,
+            attack: Attack::None,
+            n_attackers: 0,
+            n_users: 10,
+            transfers_per_user: 30,
+            file_size: 20 * 1024,
+            bottleneck_bps: 10_000_000,
+            attacker_rate_bps: 1_000_000,
+            request_fraction: 0.01,
+            grant: Grant::from_parts(100, 10),
+            attack_start: SimTime::ZERO,
+            duration: SimTime::from_secs(400),
+            failure_grace: SimDuration::from_secs(120),
+            measure_after: SimTime::ZERO,
+            seed: 20050821, // SIGCOMM'05 conference date
+            siff_key_rotation: SimDuration::from_secs(128),
+            siff_accept_previous: true,
+            deny_attackers: false,
+        }
+    }
+}
+
+/// Outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Aggregate §5 metrics.
+    pub summary: TransferSummary,
+    /// Every resolved transfer (start time + completion), across users.
+    pub transfers: Vec<TransferRecord>,
+    /// The same records grouped per user (fairness analyses).
+    pub per_user: Vec<Vec<TransferRecord>>,
+    /// Bottleneck drop rate over the run.
+    pub bottleneck_drop_rate: f64,
+    /// Bottleneck utilization over the run.
+    pub bottleneck_utilization: f64,
+}
+
+/// Well-known addresses.
+pub const DEST: Addr = Addr::new(10, 0, 0, 1);
+/// The colluder's address (behind the bottleneck, like the destination).
+pub const COLLUDER: Addr = Addr::new(10, 0, 0, 2);
+
+fn user_addr(i: usize) -> Addr {
+    Addr::new(20, 0, (i / 200) as u8, (i % 200) as u8 + 1)
+}
+
+/// Attacker addresses (public so policies can pre-deny them).
+pub fn attacker_addr(i: usize) -> Addr {
+    Addr::new(66, 0, (i / 200) as u8, (i % 200) as u8 + 1)
+}
+
+const ACCESS_BPS: u64 = 100_000_000;
+const LINK_DELAY: SimDuration = SimDuration::from_millis(10);
+const HOST_QUEUE: u64 = 1 << 20;
+const ROUTER_QUEUE_PKTS: usize = 50;
+
+/// Runs one scenario to completion.
+pub fn run(cfg: &ScenarioConfig) -> ScenarioResult {
+    let mut b = Builder::new(cfg);
+    b.build_and_run(|_, _| {})
+}
+
+/// Node ids of the built testbed, for post-run inspection.
+#[derive(Debug, Clone)]
+pub struct BuiltNodes {
+    /// The access-side router (attackers and users attach here).
+    pub r1: NodeId,
+    /// The destination-side router.
+    pub r2: NodeId,
+    /// The destination server.
+    pub dest: NodeId,
+    /// Legitimate users, in index order.
+    pub clients: Vec<NodeId>,
+    /// Attackers, in index order.
+    pub attackers: Vec<NodeId>,
+}
+
+/// Like [`run`], but hands the finished simulator to `inspect` before
+/// metrics are returned (tests and diagnostics).
+pub fn run_inspect(
+    cfg: &ScenarioConfig,
+    inspect: impl FnOnce(&tva_sim::Simulator, &BuiltNodes),
+) -> ScenarioResult {
+    let mut b = Builder::new(cfg);
+    b.build_and_run(inspect)
+}
+
+struct Builder<'a> {
+    cfg: &'a ScenarioConfig,
+    topo: TopologyBuilder,
+    r1: NodeId,
+    r2: NodeId,
+    kicks: Vec<(NodeId, u64, SimTime)>,
+    clients: Vec<NodeId>,
+    attackers: Vec<NodeId>,
+    tva_cfg1: RouterConfig,
+    tva_cfg2: RouterConfig,
+    siff_cfg: SiffConfig,
+    bottleneck: Option<LinkHandle>,
+    /// (r1 ingress channels, used to size pushback) — captured as we link.
+    r1_egress_bottleneck: Option<ChannelId>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(cfg: &'a ScenarioConfig) -> Self {
+        let tva_cfg1 = RouterConfig {
+            request_fraction: cfg.request_fraction,
+            secret_seed: cfg.seed ^ 0x1111,
+            ..RouterConfig::default()
+        };
+        let tva_cfg2 = RouterConfig {
+            request_fraction: cfg.request_fraction,
+            secret_seed: cfg.seed ^ 0x2222,
+            ..RouterConfig::default()
+        };
+        let siff_cfg = SiffConfig {
+            key_rotation: cfg.siff_key_rotation,
+            accept_previous: cfg.siff_accept_previous,
+            secret_seed: cfg.seed ^ 0x3333,
+            ..SiffConfig::default()
+        };
+        let mut topo = TopologyBuilder::new();
+        let (r1, r2) = match cfg.scheme {
+            Scheme::Tva => (
+                topo.add_node(Box::new(TvaRouterNode::new(
+                    tva_cfg1.clone(),
+                    cfg.bottleneck_bps,
+                ))),
+                topo.add_node(Box::new(TvaRouterNode::new(
+                    tva_cfg2.clone(),
+                    cfg.bottleneck_bps,
+                ))),
+            ),
+            Scheme::Siff => (
+                topo.add_node(Box::new(SiffRouterNode::new(siff_cfg.clone()))),
+                topo.add_node(Box::new(SiffRouterNode::new(SiffConfig {
+                    secret_seed: cfg.seed ^ 0x4444,
+                    ..siff_cfg.clone()
+                }))),
+            ),
+            Scheme::Pushback => (
+                topo.add_node(Box::new(PushbackRouterNode::new(PushbackConfig::default()))),
+                topo.add_node(Box::new(PushbackRouterNode::new(PushbackConfig::default()))),
+            ),
+            Scheme::Internet => (
+                topo.add_node(Box::<LegacyRouterNode>::default()),
+                topo.add_node(Box::<LegacyRouterNode>::default()),
+            ),
+        };
+        Builder {
+            cfg,
+            topo,
+            r1,
+            r2,
+            kicks: Vec::new(),
+            clients: Vec::new(),
+            attackers: Vec::new(),
+            tva_cfg1,
+            tva_cfg2,
+            siff_cfg,
+            bottleneck: None,
+            r1_egress_bottleneck: None,
+        }
+    }
+
+    /// An egress queue appropriate for the scheme, for a link of `bps`.
+    fn router_queue(&self, which: NodeId, bps: u64) -> Box<dyn QueueDisc> {
+        match self.cfg.scheme {
+            Scheme::Tva => {
+                let cfg = if which == self.r1 { &self.tva_cfg1 } else { &self.tva_cfg2 };
+                Box::new(TvaScheduler::new(bps, cfg))
+            }
+            Scheme::Siff => Box::new(SiffScheduler::from_config(&self.siff_cfg)),
+            Scheme::Pushback | Scheme::Internet => Box::new(DropTail::packets(ROUTER_QUEUE_PKTS)),
+        }
+    }
+
+    fn host_queue(&self) -> Box<dyn QueueDisc> {
+        Box::new(DropTail::new(HOST_QUEUE))
+    }
+
+    /// The shim for a legitimate user.
+    fn user_shim(&self, addr: Addr) -> Box<dyn Shim> {
+        match self.cfg.scheme {
+            Scheme::Tva => Box::new(TvaHostShim::new(
+                addr,
+                HostConfig::default(),
+                Box::new(ClientPolicy { grant: Grant::from_parts(100, 10) }),
+            )),
+            Scheme::Siff => Box::new(SiffShim::new(
+                addr,
+                Box::new(ClientPolicy { grant: Grant::from_parts(100, 10) }),
+                self.siff_refresh(),
+            )),
+            Scheme::Pushback | Scheme::Internet => Box::new(NullShim),
+        }
+    }
+
+    /// Hosts refresh marks slightly faster than routers rotate keys.
+    fn siff_refresh(&self) -> SimDuration {
+        SimDuration::from_nanos((self.cfg.siff_key_rotation.as_nanos() as f64 * 0.9) as u64)
+    }
+
+    /// The destination's shim, honoring `deny_attackers` and the scenario
+    /// grant.
+    fn dest_shim(&self) -> Box<dyn Shim> {
+        // Blacklists are temporary (§3.3): a misflagged legitimate sender
+        // recovers once the congestion that made it look bad clears.
+        let mut policy = ServerPolicy::new(self.cfg.grant, SimDuration::from_secs(30));
+        if self.cfg.deny_attackers {
+            for i in 0..self.cfg.n_attackers {
+                policy.deny_forever(attacker_addr(i));
+            }
+        }
+        if matches!(
+            self.cfg.attack,
+            Attack::ImpreciseAllAtOnce | Attack::ImpreciseStaged { .. }
+        ) {
+            // The paper's imprecise policy: every attacker gets the default
+            // grant exactly once; the destination "does not renew
+            // capabilities because of the attack" (§5.4).
+            for i in 0..self.cfg.n_attackers {
+                policy.single_grant(attacker_addr(i));
+            }
+        }
+        match self.cfg.scheme {
+            Scheme::Tva => Box::new(TvaHostShim::new(
+                DEST,
+                HostConfig { default_grant: self.cfg.grant, ..HostConfig::default() },
+                Box::new(policy),
+            )),
+            Scheme::Siff => Box::new(SiffShim::new(DEST, Box::new(policy), self.siff_refresh())),
+            Scheme::Pushback | Scheme::Internet => Box::new(NullShim),
+        }
+    }
+
+    fn attach_host(&mut self, node: NodeId, addr: Addr, via: NodeId) -> LinkHandle {
+        self.topo.bind_addr(node, addr);
+        let q_router = self.router_queue(via, ACCESS_BPS);
+        let link = self.topo.link(node, via, ACCESS_BPS, LINK_DELAY, self.host_queue(), q_router);
+        link
+    }
+
+    fn add_attackers(&mut self) {
+        let cfg = self.cfg;
+        let start = cfg.attack_start;
+        for i in 0..cfg.n_attackers {
+            let addr = attacker_addr(i);
+            let node: NodeId = match cfg.attack {
+                Attack::None => break,
+                Attack::LegacyFlood => {
+                    let n = self.topo.add_node(Box::new(FloodNode::new(
+                        cfg.attacker_rate_bps,
+                        Box::new(move |_now, _seq| {
+                            Some(Packet {
+                                id: PacketId(0),
+                                src: addr,
+                                dst: DEST,
+                                cap: None,
+                                tcp: None,
+                                payload_len: 980,
+                            })
+                        }),
+                    )));
+                    n
+                }
+                Attack::RequestFlood => {
+                    // Request packets padded toward 1000 B so the byte rate
+                    // matches the paper's 1 Mb/s without inflating the
+                    // event count (documented in EXPERIMENTS.md).
+                    let n = self.topo.add_node(Box::new(FloodNode::new(
+                        cfg.attacker_rate_bps,
+                        Box::new(move |_now, _seq| {
+                            Some(Packet {
+                                id: PacketId(0),
+                                src: addr,
+                                dst: DEST,
+                                cap: Some(CapHeader::request()),
+                                tcp: None,
+                                payload_len: 960,
+                            })
+                        }),
+                    )));
+                    n
+                }
+                Attack::AuthorizedColluder => {
+                    let flooder = self.authorized_flooder(addr, COLLUDER, None);
+                    self.topo.add_node(flooder)
+                }
+                Attack::Combined => match i % 3 {
+                    0 => self.topo.add_node(Box::new(FloodNode::new(
+                        cfg.attacker_rate_bps,
+                        Box::new(move |_now, _seq| {
+                            Some(Packet {
+                                id: PacketId(0),
+                                src: addr,
+                                dst: DEST,
+                                cap: None,
+                                tcp: None,
+                                payload_len: 980,
+                            })
+                        }),
+                    ))),
+                    1 => self.topo.add_node(Box::new(FloodNode::new(
+                        cfg.attacker_rate_bps,
+                        Box::new(move |_now, _seq| {
+                            Some(Packet {
+                                id: PacketId(0),
+                                src: addr,
+                                dst: DEST,
+                                cap: Some(CapHeader::request()),
+                                tcp: None,
+                                payload_len: 960,
+                            })
+                        }),
+                    ))),
+                    _ => {
+                        let flooder = self.authorized_flooder(addr, COLLUDER, None);
+                        self.topo.add_node(flooder)
+                    }
+                },
+                Attack::ImpreciseAllAtOnce => {
+                    let flooder = self.authorized_flooder(
+                        addr,
+                        DEST,
+                        Some((start, cfg.duration)),
+                    );
+                    self.topo.add_node(flooder)
+                }
+                Attack::ImpreciseStaged { groups, wave_secs } => {
+                    let per_group = cfg.n_attackers.div_ceil(groups);
+                    let g = (i / per_group) as u64;
+                    let w_start = start + SimDuration::from_secs(g * wave_secs);
+                    let w_end = w_start + SimDuration::from_secs(wave_secs);
+                    let flooder = self.authorized_flooder(addr, DEST, Some((w_start, w_end)));
+                    self.topo.add_node(flooder)
+                }
+            };
+            self.attach_host(node, addr, self.r1);
+            self.attackers.push(node);
+            self.kicks.push((node, 0, start));
+        }
+    }
+
+    fn authorized_flooder(
+        &self,
+        addr: Addr,
+        target: Addr,
+        window: Option<(SimTime, SimTime)>,
+    ) -> Box<AuthorizedFlooder> {
+        let rate = self.cfg.attacker_rate_bps;
+        let mut f = match self.cfg.scheme {
+            Scheme::Siff => AuthorizedFlooder::with_shim(
+                addr,
+                target,
+                rate,
+                Box::new(SiffShim::new(
+                    addr,
+                    Box::new(AllowAll { grant: Grant::from_parts(1023, 10) }),
+                    self.siff_refresh(),
+                )),
+            ),
+            // Pushback / Internet have no authorization concept: an
+            // authorized flood degenerates to a data flood (the paper notes
+            // the results match the legacy flood), via the NullShim.
+            Scheme::Pushback | Scheme::Internet => {
+                AuthorizedFlooder::with_shim(addr, target, rate, Box::new(NullShim))
+            }
+            Scheme::Tva => AuthorizedFlooder::new(addr, target, rate),
+        };
+        if let Some((s, e)) = window {
+            f = f.with_window(s, e);
+        }
+        Box::new(f)
+    }
+
+    fn build_and_run(
+        &mut self,
+        inspect: impl FnOnce(&tva_sim::Simulator, &BuiltNodes),
+    ) -> ScenarioResult {
+        let cfg = self.cfg.clone();
+
+        // Destination host.
+        let dest = self.topo.add_node(Box::new(ServerNode::new(
+            DEST,
+            TcpConfig::default(),
+            self.dest_shim(),
+        )));
+        self.topo.bind_addr(dest, DEST);
+
+        // Bottleneck.
+        let q1 = self.router_queue(self.r1, cfg.bottleneck_bps);
+        let q2 = self.router_queue(self.r2, cfg.bottleneck_bps);
+        let bottleneck =
+            self.topo.link(self.r1, self.r2, cfg.bottleneck_bps, LINK_DELAY, q1, q2);
+        self.bottleneck = Some(bottleneck);
+        self.r1_egress_bottleneck = Some(bottleneck.ab);
+
+        // Destination access link.
+        let qd = self.router_queue(self.r2, ACCESS_BPS);
+        self.topo.link(self.r2, dest, ACCESS_BPS, LINK_DELAY, qd, self.host_queue());
+
+        // Colluder (only meaningful for the authorized-flood attack, but
+        // harmless otherwise; only add when used to keep runs lean).
+        if matches!(cfg.attack, Attack::AuthorizedColluder | Attack::Combined) {
+            let shim: Box<dyn Shim> = match cfg.scheme {
+                Scheme::Tva => Box::new(TvaHostShim::new(
+                    COLLUDER,
+                    HostConfig {
+                        default_grant: Grant::from_parts(1023, 10),
+                        // The colluder never reports its friends.
+                        misbehavior_bytes_per_sec: f64::INFINITY,
+                        ..HostConfig::default()
+                    },
+                    Box::new(AllowAll { grant: Grant::from_parts(1023, 10) }),
+                )),
+                Scheme::Siff => {
+                    let mut s = SiffShim::new(
+                        COLLUDER,
+                        Box::new(AllowAll { grant: Grant::from_parts(1023, 10) }),
+                        self.siff_refresh(),
+                    );
+                    s.misbehavior_bytes_per_sec = f64::INFINITY;
+                    Box::new(s)
+                }
+                Scheme::Pushback | Scheme::Internet => Box::new(NullShim),
+            };
+            let colluder = self.topo.add_node(Box::new(ServerNode::new(
+                COLLUDER,
+                TcpConfig::default(),
+                shim,
+            )));
+            self.topo.bind_addr(colluder, COLLUDER);
+            let qc = self.router_queue(self.r2, ACCESS_BPS);
+            self.topo.link(self.r2, colluder, ACCESS_BPS, LINK_DELAY, qc, self.host_queue());
+        }
+
+        // Users.
+        for i in 0..cfg.n_users {
+            let addr = user_addr(i);
+            let shim = self.user_shim(addr);
+            let c = self.topo.add_node(Box::new(ClientNode::new(
+                addr,
+                DEST,
+                cfg.file_size,
+                cfg.transfers_per_user,
+                TcpConfig::default(),
+                shim,
+            )));
+            self.attach_host(c, addr, self.r1);
+            self.clients.push(c);
+            // Stagger starts across the first 100 ms to avoid phase locking.
+            let start = SimTime::from_nanos(1 + (i as u64) * 10_000_000);
+            self.kicks.push((c, TOKEN_START, start));
+        }
+
+        // Attackers.
+        self.add_attackers();
+
+        let mut sim = std::mem::take(&mut self.topo).build(cfg.seed);
+
+        // Pushback routers need their managed egress registered and their
+        // review loop kicked.
+        if cfg.scheme == Scheme::Pushback {
+            let bn = self.r1_egress_bottleneck.expect("bottleneck linked");
+            sim.node_mut::<PushbackRouterNode>(self.r1).manage(EgressSpec {
+                channel: bn,
+                capacity_bps: cfg.bottleneck_bps,
+            });
+            sim.kick(self.r1, tva_baselines::TOKEN_REVIEW);
+            sim.kick(self.r2, tva_baselines::TOKEN_REVIEW);
+        }
+
+        for &(node, token, at) in &self.kicks {
+            sim.kick_at(node, token, at);
+        }
+        sim.run_until(cfg.duration);
+
+        inspect(
+            &sim,
+            &BuiltNodes {
+                r1: self.r1,
+                r2: self.r2,
+                dest,
+                clients: self.clients.clone(),
+                attackers: self.attackers.clone(),
+            },
+        );
+
+        // Collect metrics.
+        let mut transfers = Vec::new();
+        let mut per_user = Vec::new();
+        for &c in &self.clients {
+            let node = sim.node::<ClientNode>(c);
+            per_user.push(
+                node.records
+                    .iter()
+                    .copied()
+                    .filter(|t| t.started >= cfg.measure_after)
+                    .collect::<Vec<_>>(),
+            );
+            transfers.extend(node.records.iter().copied());
+            // Unresolved transfers old enough to have failed count as
+            // failures; recent ones are indeterminate and excluded.
+            if let Some(start) = node.in_flight_started() {
+                if cfg.duration.since(start) > cfg.failure_grace {
+                    transfers.push(TransferRecord { started: start, finished: None });
+                }
+            }
+        }
+        transfers.retain(|t| t.started >= cfg.measure_after);
+        let summary = summarize(&transfers);
+        let st = &sim.channel(self.bottleneck.expect("bottleneck linked").ab).stats;
+        ScenarioResult {
+            summary,
+            transfers,
+            per_user,
+            bottleneck_drop_rate: st.drop_rate(),
+            bottleneck_utilization: st.utilization(cfg.bottleneck_bps, sim.now()),
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Multi-threaded parameter sweeps: one simulation per (scheme, attacker
+//! count) point, fanned out across CPU cores, results returned in input
+//! order regardless of completion order.
+
+use std::sync::mpsc;
+use std::thread;
+
+use crate::scenario::{run, ScenarioConfig, ScenarioResult};
+
+/// Runs every configuration, in parallel, preserving order.
+pub fn run_all(configs: Vec<ScenarioConfig>) -> Vec<(ScenarioConfig, ScenarioResult)> {
+    let workers = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let total = configs.len();
+    let (job_tx, job_rx) = mpsc::channel::<(usize, ScenarioConfig)>();
+    let job_rx = std::sync::Arc::new(std::sync::Mutex::new(job_rx));
+    let (res_tx, res_rx) = mpsc::channel::<(usize, ScenarioConfig, ScenarioResult)>();
+
+    for (i, cfg) in configs.into_iter().enumerate() {
+        job_tx.send((i, cfg)).expect("queueing jobs");
+    }
+    drop(job_tx);
+
+    thread::scope(|scope| {
+        for _ in 0..workers.min(total.max(1)) {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || loop {
+                let job = {
+                    let rx = job_rx.lock().expect("job queue lock");
+                    rx.recv()
+                };
+                let Ok((i, cfg)) = job else { break };
+                let result = run(&cfg);
+                if res_tx.send((i, cfg, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(res_tx);
+        let mut slots: Vec<Option<(ScenarioConfig, ScenarioResult)>> =
+            (0..total).map(|_| None).collect();
+        for (i, cfg, result) in res_rx {
+            eprintln!(
+                "  [{}/{}] {} k={} fraction={:.3} time={:.2}s",
+                slots.iter().filter(|s| s.is_some()).count() + 1,
+                total,
+                cfg.scheme.name(),
+                cfg.n_attackers,
+                result.summary.completion_fraction,
+                result.summary.avg_completion_secs,
+            );
+            slots[i] = Some((cfg, result));
+        }
+        slots.into_iter().map(|s| s.expect("all jobs completed")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Attack, Scheme};
+    use tva_sim::SimTime;
+
+    #[test]
+    fn sweep_preserves_order_and_runs() {
+        let mk = |scheme| ScenarioConfig {
+            scheme,
+            attack: Attack::None,
+            n_users: 2,
+            transfers_per_user: 2,
+            duration: SimTime::from_secs(30),
+            ..ScenarioConfig::default()
+        };
+        let results = run_all(vec![mk(Scheme::Internet), mk(Scheme::Tva)]);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].0.scheme, Scheme::Internet);
+        assert_eq!(results[1].0.scheme, Scheme::Tva);
+        for (cfg, r) in &results {
+            assert!(
+                r.summary.completion_fraction > 0.99,
+                "{} clean network should complete, got {}",
+                cfg.scheme.name(),
+                r.summary.completion_fraction
+            );
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Deficit round-robin fair queuing over a dynamic set of queues.
+//!
+//! TVA fair-queues capability requests by path identifier and regular
+//! packets by destination address (Figure 2, §3.2, §3.9). Both queue sets
+//! are dynamic — keys appear when traffic arrives and disappear when queues
+//! drain — and bounded, so an attacker cannot exhaust router memory by
+//! manufacturing keys. DRR gives each backlogged key an equal byte share
+//! (within one quantum) at O(1) work per packet.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+use tva_wire::Packet;
+
+/// A DRR scheduler over queues keyed by `K`.
+pub struct Drr<K: Hash + Eq + Clone> {
+    queues: HashMap<K, SubQueue>,
+    /// Round-robin order of backlogged keys.
+    active: VecDeque<K>,
+    quantum: u32,
+    per_queue_cap: u64,
+    max_queues: usize,
+    total_bytes: u64,
+    total_pkts: usize,
+    drops: u64,
+}
+
+struct SubQueue {
+    pkts: VecDeque<Packet>,
+    bytes: u64,
+    deficit: u32,
+    /// Whether the key is in `active` (it is iff the queue is non-empty).
+    backlogged: bool,
+}
+
+impl<K: Hash + Eq + Clone> Drr<K> {
+    /// Creates a DRR scheduler.
+    ///
+    /// * `quantum` — bytes added to a queue's deficit per round; use the MTU
+    ///   so any head packet can eventually be sent.
+    /// * `per_queue_cap` — byte cap per key (drop-tail within a key).
+    /// * `max_queues` — bound on distinct keys; packets for new keys beyond
+    ///   the bound are dropped, which bounds memory no matter how many keys
+    ///   an attacker manufactures.
+    pub fn new(quantum: u32, per_queue_cap: u64, max_queues: usize) -> Self {
+        assert!(quantum > 0, "quantum must be positive");
+        Drr {
+            queues: HashMap::new(),
+            active: VecDeque::new(),
+            quantum,
+            per_queue_cap,
+            max_queues,
+            total_bytes: 0,
+            total_pkts: 0,
+            drops: 0,
+        }
+    }
+
+    /// Offers a packet under `key`. Returns false (and counts a drop) if the
+    /// key's queue is full or the key table is exhausted.
+    pub fn enqueue(&mut self, key: K, pkt: Packet) -> bool {
+        let len = pkt.wire_len() as u64;
+        if !self.queues.contains_key(&key) {
+            if self.queues.len() >= self.max_queues {
+                self.drops += 1;
+                return false;
+            }
+            self.queues.insert(
+                key.clone(),
+                SubQueue { pkts: VecDeque::new(), bytes: 0, deficit: 0, backlogged: false },
+            );
+        }
+        let q = self.queues.get_mut(&key).expect("just inserted");
+        if q.bytes + len > self.per_queue_cap {
+            self.drops += 1;
+            return false;
+        }
+        q.bytes += len;
+        q.pkts.push_back(pkt);
+        if !q.backlogged {
+            q.backlogged = true;
+            q.deficit = 0;
+            self.active.push_back(key);
+        }
+        self.total_bytes += len;
+        self.total_pkts += 1;
+        true
+    }
+
+    /// Takes the next packet in DRR order.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        // Each outer iteration visits one backlogged queue; a queue whose
+        // deficit cannot cover its head packet gets a quantum and goes to the
+        // back of the round. Terminates because every visit either emits a
+        // packet or strictly increases one queue's deficit toward its head
+        // packet size (bounded by per_queue_cap).
+        loop {
+            let key = self.active.pop_front()?;
+            let q = self.queues.get_mut(&key).expect("active key has queue");
+            let head_len = q.pkts.front().expect("backlogged queue non-empty").wire_len();
+            if q.deficit >= head_len {
+                let pkt = q.pkts.pop_front().expect("checked non-empty");
+                q.deficit -= head_len;
+                q.bytes -= head_len as u64;
+                self.total_bytes -= head_len as u64;
+                self.total_pkts -= 1;
+                if q.pkts.is_empty() {
+                    // Idle queues keep no deficit (standard DRR) and leave
+                    // the round; drop the key entirely to bound memory.
+                    self.queues.remove(&key);
+                } else {
+                    self.active.push_front(key);
+                }
+                return Some(pkt);
+            }
+            q.deficit += self.quantum;
+            self.active.push_back(key);
+        }
+    }
+
+    /// Packets held across all queues.
+    pub fn len_pkts(&self) -> usize {
+        self.total_pkts
+    }
+
+    /// Bytes held across all queues.
+    pub fn len_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Distinct backlogged keys.
+    pub fn active_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Cumulative drops (full queue or key-table exhaustion).
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tva_wire::{Addr, Packet, PacketId};
+
+    fn pkt(id: u64, bytes: u32) -> Packet {
+        Packet {
+            id: PacketId(id),
+            src: Addr::new(1, 0, 0, 1),
+            dst: Addr::new(2, 0, 0, 2),
+            cap: None,
+            tcp: None,
+            payload_len: bytes.saturating_sub(20),
+        }
+    }
+
+    #[test]
+    fn equal_shares_for_equal_packets() {
+        let mut d: Drr<u32> = Drr::new(1500, 1 << 20, 64);
+        // Key 0 floods 100 packets; keys 1..=4 have 10 each.
+        for i in 0..100 {
+            d.enqueue(0, pkt(i, 1000));
+        }
+        for k in 1..=4u32 {
+            for i in 0..10 {
+                d.enqueue(k, pkt(1000 + k as u64 * 100 + i, 1000));
+            }
+        }
+        // Dequeue 50 packets: each of the 5 backlogged keys should get 10.
+        let mut counts = [0u32; 5];
+        for _ in 0..50 {
+            let p = d.dequeue().unwrap();
+            let key = if p.id.0 < 100 { 0 } else { (p.id.0 - 1000) / 100 };
+            counts[key as usize] += 1;
+        }
+        assert_eq!(counts, [10, 10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn byte_fairness_with_unequal_sizes() {
+        // Key 0 sends 1500-byte packets, key 1 sends 500-byte packets; over
+        // a long run each key should get ~equal bytes, i.e. key 1 sends ~3x
+        // as many packets.
+        let mut d: Drr<u32> = Drr::new(1500, 10 << 20, 8);
+        for i in 0..300 {
+            d.enqueue(0, pkt(i, 1500));
+        }
+        for i in 0..900 {
+            d.enqueue(1, pkt(10_000 + i, 500));
+        }
+        let mut bytes = [0u64; 2];
+        let mut sent = 0;
+        while sent < 600_000 {
+            let p = d.dequeue().unwrap();
+            let k = if p.id.0 < 300 { 0 } else { 1 };
+            bytes[k] += p.wire_len() as u64;
+            sent += p.wire_len() as u64;
+        }
+        let diff = bytes[0].abs_diff(bytes[1]);
+        assert!(diff <= 3000, "byte shares {bytes:?} differ by {diff}");
+    }
+
+    #[test]
+    fn key_table_bound_drops_new_keys() {
+        let mut d: Drr<u32> = Drr::new(1500, 1 << 20, 2);
+        assert!(d.enqueue(1, pkt(1, 100)));
+        assert!(d.enqueue(2, pkt(2, 100)));
+        assert!(!d.enqueue(3, pkt(3, 100)), "third key must be rejected");
+        assert!(d.enqueue(1, pkt(4, 100)), "existing keys still accept");
+        assert_eq!(d.drops(), 1);
+    }
+
+    #[test]
+    fn per_queue_cap_drops() {
+        let mut d: Drr<u32> = Drr::new(1500, 250, 8);
+        assert!(d.enqueue(1, pkt(1, 100)));
+        assert!(d.enqueue(1, pkt(2, 100)));
+        assert!(!d.enqueue(1, pkt(3, 100)));
+        assert_eq!(d.len_pkts(), 2);
+    }
+
+    #[test]
+    fn drained_keys_are_forgotten() {
+        let mut d: Drr<u32> = Drr::new(1500, 1 << 20, 2);
+        d.enqueue(1, pkt(1, 100));
+        d.enqueue(2, pkt(2, 100));
+        while d.dequeue().is_some() {}
+        assert_eq!(d.active_queues(), 0);
+        // Capacity is freed for new keys.
+        assert!(d.enqueue(3, pkt(3, 100)));
+    }
+
+    #[test]
+    fn single_queue_is_fifo() {
+        let mut d: Drr<u32> = Drr::new(1500, 1 << 20, 4);
+        for i in 0..10 {
+            d.enqueue(7, pkt(i, 300));
+        }
+        let ids: Vec<u64> = std::iter::from_fn(|| d.dequeue()).map(|p| p.id.0).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+}

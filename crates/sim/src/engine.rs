@@ -1,0 +1,335 @@
+//! The simulation engine: channels, routing, and the event dispatch loop.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::event::{ChannelId, EventKind, EventQueue, NodeId};
+use crate::node::{Ctx, Node};
+use crate::queue::QueueDisc;
+use crate::stats::ChannelStats;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceKind, Tracer};
+use tva_wire::{Addr, Packet, PacketId};
+
+/// One direction of a link: an egress queue, a serializer of fixed
+/// bandwidth, and a propagation delay to the peer node.
+pub struct Channel {
+    /// Node that transmits on this channel.
+    pub from: NodeId,
+    /// Node that receives from this channel.
+    pub to: NodeId,
+    /// Serialization rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// Propagation delay.
+    pub delay: SimDuration,
+    pub(crate) queue: Box<dyn QueueDisc>,
+    pub(crate) busy: bool,
+    pub(crate) in_flight: Option<Packet>,
+    pub(crate) wake_at: Option<SimTime>,
+    /// Counters.
+    pub stats: ChannelStats,
+}
+
+/// Per-node routing state: exact-match table plus an optional default route.
+#[derive(Default)]
+pub(crate) struct RouteTable {
+    pub table: HashMap<Addr, ChannelId>,
+    pub default: Option<ChannelId>,
+}
+
+impl RouteTable {
+    fn lookup(&self, dst: Addr) -> Option<ChannelId> {
+        self.table.get(&dst).copied().or(self.default)
+    }
+}
+
+/// Engine state shared with nodes through [`Ctx`] during callbacks.
+pub(crate) struct Core {
+    pub now: SimTime,
+    pub events: EventQueue,
+    pub channels: Vec<Channel>,
+    pub routes: Vec<RouteTable>,
+    pub rng: SmallRng,
+    pub next_packet_id: u64,
+    /// Packets discarded because a node had no route.
+    pub unrouted: u64,
+    pub tracer: Option<Tracer>,
+}
+
+impl Core {
+    #[inline]
+    fn trace(&mut self, kind: TraceKind, ch: ChannelId, pkt: &Packet) {
+        if let Some(t) = self.tracer.as_mut() {
+            t(&TraceEvent {
+                time: self.now,
+                kind,
+                channel: ch,
+                id: pkt.id,
+                src: pkt.src,
+                dst: pkt.dst,
+                wire_len: pkt.wire_len(),
+            });
+        }
+    }
+}
+
+impl Core {
+    /// Offers a packet to a channel's queue and kicks the transmitter.
+    fn offer(&mut self, ch: ChannelId, pkt: Packet) -> bool {
+        if self.tracer.is_some() {
+            // Trace before ownership moves; the verdict event follows.
+            let snapshot = pkt.clone();
+            let c = &mut self.channels[ch.0];
+            let len = snapshot.wire_len() as u64;
+            if c.queue.enqueue(pkt, self.now).is_accepted() {
+                c.stats.enqueued_pkts += 1;
+                self.trace(TraceKind::Enqueued, ch, &snapshot);
+                self.try_start(ch);
+                true
+            } else {
+                c.stats.dropped_pkts += 1;
+                c.stats.dropped_bytes += len;
+                self.trace(TraceKind::Dropped, ch, &snapshot);
+                false
+            }
+        } else {
+            let c = &mut self.channels[ch.0];
+            let len = pkt.wire_len() as u64;
+            if c.queue.enqueue(pkt, self.now).is_accepted() {
+                c.stats.enqueued_pkts += 1;
+                self.try_start(ch);
+                true
+            } else {
+                c.stats.dropped_pkts += 1;
+                c.stats.dropped_bytes += len;
+                false
+            }
+        }
+    }
+
+    /// Starts serializing the next eligible packet if the channel is idle.
+    fn try_start(&mut self, ch: ChannelId) {
+        let now = self.now;
+        let c = &mut self.channels[ch.0];
+        if c.busy {
+            return;
+        }
+        match c.queue.dequeue(now) {
+            Some(pkt) => {
+                let tx = SimDuration::transmission(pkt.wire_len(), c.bandwidth_bps);
+                c.stats.tx_pkts += 1;
+                c.stats.tx_bytes += pkt.wire_len() as u64;
+                c.busy = true;
+                c.in_flight = Some(pkt);
+                c.wake_at = None;
+                self.events.push(now + tx, EventKind::TxComplete { channel: ch });
+                if self.tracer.is_some() {
+                    let snapshot =
+                        self.channels[ch.0].in_flight.clone().expect("just set");
+                    self.trace(TraceKind::TxStart, ch, &snapshot);
+                }
+            }
+            None => {
+                // Nothing eligible now; if the discipline is holding packets
+                // back (rate limiting), poll again when it says to.
+                if let Some(t) = c.queue.next_ready(now) {
+                    let t = t.max(now);
+                    if c.wake_at.is_none_or(|w| t < w) {
+                        c.wake_at = Some(t);
+                        self.events.push(t, EventKind::ChannelWake { channel: ch });
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_tx_complete(&mut self, ch: ChannelId) {
+        let c = &mut self.channels[ch.0];
+        let pkt = c.in_flight.take().expect("TxComplete without packet in flight");
+        c.busy = false;
+        let arrival = self.now + c.delay;
+        let node = c.to;
+        self.events.push(arrival, EventKind::Arrival { node, from: ch, packet: pkt });
+        self.try_start(ch);
+    }
+
+    fn on_wake(&mut self, ch: ChannelId) {
+        let c = &mut self.channels[ch.0];
+        if c.wake_at.is_some_and(|w| w <= self.now) {
+            c.wake_at = None;
+        }
+        self.try_start(ch);
+    }
+}
+
+struct EngineCtx<'a> {
+    core: &'a mut Core,
+    node: NodeId,
+}
+
+impl Ctx for EngineCtx<'_> {
+    fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    fn send(&mut self, pkt: Packet) -> bool {
+        match self.core.routes[self.node.0].lookup(pkt.dst) {
+            Some(ch) => self.core.offer(ch, pkt),
+            None => {
+                self.core.unrouted += 1;
+                false
+            }
+        }
+    }
+
+    fn send_via(&mut self, ch: ChannelId, pkt: Packet) -> bool {
+        self.core.offer(ch, pkt)
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let t = self.core.now + delay;
+        self.core.events.push(t, EventKind::Timer { node: self.node, token });
+    }
+
+    fn route(&self, dst: Addr) -> Option<ChannelId> {
+        self.core.routes[self.node.0].lookup(dst)
+    }
+
+    fn channel_stats(&self, ch: ChannelId) -> ChannelStats {
+        self.core.channels[ch.0].stats.clone()
+    }
+
+    fn alloc_packet_id(&mut self) -> PacketId {
+        let id = PacketId(self.core.next_packet_id);
+        self.core.next_packet_id += 1;
+        id
+    }
+
+    fn rng(&mut self) -> &mut dyn rand::RngCore {
+        &mut self.core.rng
+    }
+}
+
+/// The simulator: nodes plus engine state. Build one with
+/// [`crate::topology::TopologyBuilder`].
+pub struct Simulator {
+    pub(crate) core: Core,
+    pub(crate) nodes: Vec<Box<dyn Node>>,
+}
+
+impl Simulator {
+    pub(crate) fn new(
+        nodes: Vec<Box<dyn Node>>,
+        channels: Vec<Channel>,
+        routes: Vec<RouteTable>,
+        seed: u64,
+    ) -> Self {
+        Simulator {
+            core: Core {
+                now: SimTime::ZERO,
+                events: EventQueue::new(),
+                channels,
+                routes,
+                rng: SmallRng::seed_from_u64(seed),
+                next_packet_id: 0,
+                unrouted: 0,
+                tracer: None,
+            },
+            nodes,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Runs until the event queue drains or `limit` is reached, whichever is
+    /// first. The clock ends at exactly `limit` if events remained.
+    pub fn run_until(&mut self, limit: SimTime) {
+        while let Some(t) = self.core.events.peek_time() {
+            if t > limit {
+                break;
+            }
+            let ev = self.core.events.pop().expect("peeked event exists");
+            self.core.now = ev.time;
+            match ev.kind {
+                EventKind::Arrival { node, from, packet } => {
+                    self.core.trace(crate::trace::TraceKind::Delivered, from, &packet);
+                    let mut ctx = EngineCtx { core: &mut self.core, node };
+                    self.nodes[node.0].on_packet(packet, from, &mut ctx);
+                }
+                EventKind::Timer { node, token } => {
+                    let mut ctx = EngineCtx { core: &mut self.core, node };
+                    self.nodes[node.0].on_timer(token, &mut ctx);
+                }
+                EventKind::TxComplete { channel } => self.core.on_tx_complete(channel),
+                EventKind::ChannelWake { channel } => self.core.on_wake(channel),
+            }
+        }
+        self.core.now = limit;
+    }
+
+    /// Delivers a synthetic timer event to `node` at the current time; the
+    /// standard way to kick off node activity at t=0.
+    pub fn kick(&mut self, node: NodeId, token: u64) {
+        self.core.events.push(self.core.now, EventKind::Timer { node, token });
+    }
+
+    /// Delivers a synthetic timer event to `node` at an absolute time (must
+    /// not be in the past).
+    pub fn kick_at(&mut self, node: NodeId, token: u64, at: SimTime) {
+        assert!(at >= self.core.now, "kick_at in the past");
+        self.core.events.push(at, EventKind::Timer { node, token });
+    }
+
+    /// Injects a packet as if it arrived at `node` (for tests).
+    pub fn inject(&mut self, node: NodeId, from: ChannelId, packet: Packet) {
+        self.core.events.push(self.core.now, EventKind::Arrival { node, from, packet });
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    pub fn node<T: 'static>(&self, id: NodeId) -> &T {
+        self.nodes[id.0]
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Mutable access to a node, downcast to its concrete type.
+    pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.0]
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node type mismatch")
+    }
+
+    /// Channel metadata and statistics.
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.core.channels[id.0]
+    }
+
+    /// Count of packets dropped for lack of a route (should be zero in a
+    /// well-configured experiment).
+    pub fn unrouted(&self) -> u64 {
+        self.core.unrouted
+    }
+
+    /// Installs a packet tracer that observes every enqueue/drop/transmit/
+    /// delivery in the simulation (see [`crate::trace`]). Pass `None` to
+    /// disable.
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        self.core.tracer = tracer;
+    }
+
+    /// Number of pending events (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.core.events.len()
+    }
+}

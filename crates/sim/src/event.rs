@@ -1,0 +1,148 @@
+//! The event queue: a binary heap with a stable tiebreak.
+//!
+//! Events at equal times fire in insertion order (a monotonic sequence number
+//! breaks ties), which makes every simulation fully deterministic for a given
+//! seed — invariant 6 of DESIGN.md.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+use tva_wire::Packet;
+
+/// Identifies a node registered with the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifies a unidirectional channel (one direction of a link).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ChannelId(pub usize);
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet finishes propagating and arrives at a node.
+    Arrival {
+        /// Receiving node.
+        node: NodeId,
+        /// The channel it arrived on.
+        from: ChannelId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// A node timer fires.
+    Timer {
+        /// The node that set the timer.
+        node: NodeId,
+        /// Opaque token the node chose.
+        token: u64,
+    },
+    /// A channel finishes serializing the packet currently on the wire.
+    TxComplete {
+        /// The transmitting channel.
+        channel: ChannelId,
+    },
+    /// A channel's queue asked to be polled again (e.g. a rate limiter's
+    /// tokens have refilled).
+    ChannelWake {
+        /// The channel to poll.
+        channel: ChannelId,
+    },
+}
+
+pub(crate) struct Event {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The priority queue of pending events.
+#[derive(Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: usize, token: u64) -> EventKind {
+        EventKind::Timer { node: NodeId(node), token }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), timer(0, 3));
+        q.push(SimTime::from_secs(1), timer(0, 1));
+        q.push(SimTime::from_secs(2), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, timer(0, i));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,91 @@
+//! The node abstraction: anything that receives packets and timer callbacks.
+//!
+//! Hosts, TVA routers, SIFF routers, pushback routers and attackers are all
+//! `Node` implementations; the engine neither knows nor cares which scheme a
+//! node speaks. Nodes interact with the world only through [`Ctx`], which
+//! keeps them deterministic and testable in isolation.
+
+use std::any::Any;
+
+use crate::event::{ChannelId, NodeId};
+use crate::time::SimTime;
+use tva_wire::Packet;
+
+/// A simulated network element.
+pub trait Node: Any {
+    /// Called when a packet arrives at this node on channel `from`.
+    fn on_packet(&mut self, pkt: Packet, from: ChannelId, ctx: &mut dyn Ctx);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, token: u64, ctx: &mut dyn Ctx);
+
+    /// Downcast support for post-simulation inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Downcast support for configuration between runs.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The services the engine offers a node during a callback.
+///
+/// This is a trait (rather than a concrete struct) so node logic can be unit
+/// tested against a mock without constructing a whole simulator.
+pub trait Ctx {
+    /// Current simulation time.
+    fn now(&self) -> SimTime;
+
+    /// This node's id.
+    fn node_id(&self) -> NodeId;
+
+    /// Routes `pkt` by destination address and offers it to the egress
+    /// channel. Returns `false` if this node has no route to the
+    /// destination (the packet is counted and discarded).
+    fn send(&mut self, pkt: Packet) -> bool;
+
+    /// Offers `pkt` directly to channel `ch` (bypassing routing); used by
+    /// forwarding elements that have already made their decision.
+    fn send_via(&mut self, ch: ChannelId, pkt: Packet) -> bool;
+
+    /// Schedules `on_timer(token)` after `delay`.
+    fn set_timer(&mut self, delay: crate::time::SimDuration, token: u64);
+
+    /// The egress channel this node's routing table would use for `dst`
+    /// (exact match, then default route).
+    fn route(&self, dst: tva_wire::Addr) -> Option<ChannelId>;
+
+    /// A snapshot of a channel's counters (available to any node; pushback
+    /// uses it to observe congestion on its own egress links).
+    fn channel_stats(&self, ch: ChannelId) -> crate::stats::ChannelStats;
+
+    /// A fresh globally unique packet id (deterministic).
+    fn alloc_packet_id(&mut self) -> tva_wire::PacketId;
+
+    /// Deterministic per-simulation random source.
+    fn rng(&mut self) -> &mut dyn rand::RngCore;
+}
+
+/// A no-op node: drops everything. Useful as a placeholder and in tests.
+#[derive(Default)]
+pub struct SinkNode {
+    /// Packets received (and dropped).
+    pub received: u64,
+    /// Bytes received.
+    pub bytes: u64,
+}
+
+impl Node for SinkNode {
+    fn on_packet(&mut self, pkt: Packet, _from: ChannelId, _ctx: &mut dyn Ctx) {
+        self.received += 1;
+        self.bytes += pkt.wire_len() as u64;
+    }
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut dyn Ctx) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,59 @@
+//! Per-channel counters collected by the engine.
+
+use crate::time::SimTime;
+
+/// Counters for one unidirectional channel.
+#[derive(Debug, Default, Clone)]
+pub struct ChannelStats {
+    /// Packets accepted into the egress queue.
+    pub enqueued_pkts: u64,
+    /// Packets the egress queue refused (drops).
+    pub dropped_pkts: u64,
+    /// Bytes of dropped packets.
+    pub dropped_bytes: u64,
+    /// Packets serialized onto the wire.
+    pub tx_pkts: u64,
+    /// Bytes serialized onto the wire.
+    pub tx_bytes: u64,
+}
+
+impl ChannelStats {
+    /// Fraction of offered packets that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        let offered = self.enqueued_pkts + self.dropped_pkts;
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped_pkts as f64 / offered as f64
+        }
+    }
+
+    /// Mean utilization of a `bps` link over `[0, now]`.
+    pub fn utilization(&self, bps: u64, now: SimTime) -> f64 {
+        let secs = now.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            (self.tx_bytes as f64 * 8.0) / (bps as f64 * secs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_rate() {
+        let s = ChannelStats { enqueued_pkts: 75, dropped_pkts: 25, ..Default::default() };
+        assert!((s.drop_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(ChannelStats::default().drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn utilization() {
+        let s = ChannelStats { tx_bytes: 1_250_000, ..Default::default() };
+        // 1.25 MB in 1 s over a 10 Mb/s link = 100%.
+        assert!((s.utilization(10_000_000, SimTime::from_secs(1)) - 1.0).abs() < 1e-12);
+    }
+}

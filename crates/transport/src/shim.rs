@@ -1,0 +1,79 @@
+//! The capability shim hook: how a DoS-defense layer attaches to transport.
+//!
+//! The paper implements hosts as a user-space proxy below TCP (§6); here the
+//! equivalent seam is a [`Shim`] that sees every packet a host sends and
+//! receives. TVA's sender/destination logic, SIFF's marking logic, and the
+//! no-op legacy behavior are all `Shim` implementations (in `tva-core` and
+//! `tva-baselines`); transport itself is scheme-agnostic.
+
+use tva_sim::SimTime;
+use tva_wire::Packet;
+
+/// Per-host packet interposition layer.
+pub trait Shim: Send {
+    /// Decorates an outgoing packet (e.g. attaches a capability request to
+    /// a SYN, a regular capability header to data, or piggybacked return
+    /// capabilities). Called for every packet, including retransmissions.
+    fn on_send(&mut self, pkt: &mut Packet, now: SimTime);
+
+    /// Processes an incoming packet before the transport sees it (e.g.
+    /// harvests returned capabilities, decides grants for requests, echoes
+    /// demotion). Returns `false` to consume the packet (transport never
+    /// sees it) — used when a destination's policy refuses a request.
+    fn on_receive(&mut self, pkt: &mut Packet, now: SimTime) -> bool;
+
+    /// Whether the shim believes it can usefully send *data* to `dst` right
+    /// now (e.g. it holds valid capabilities or fresh marks). Traffic
+    /// sources use this to decide between flooding data and probing with
+    /// requests. The default (always true) suits shims with no
+    /// authorization state.
+    fn ready_to_send(&self, dst: tva_wire::Addr, now: SimTime) -> bool {
+        let _ = (dst, now);
+        true
+    }
+
+    /// Packets the shim itself wants transmitted: bare replies carrying
+    /// return information for peers that the transport will not otherwise
+    /// answer (e.g. capability requests that did not ride on a TCP SYN).
+    /// The host node drains this after every callback. Packets are emitted
+    /// ready to send — `on_send` must NOT be called on them again.
+    fn take_outbox(&mut self) -> Vec<Packet> {
+        Vec::new()
+    }
+}
+
+/// The legacy Internet: no capability layer at all.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct NullShim;
+
+impl Shim for NullShim {
+    fn on_send(&mut self, _pkt: &mut Packet, _now: SimTime) {}
+
+    fn on_receive(&mut self, _pkt: &mut Packet, _now: SimTime) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tva_wire::{Addr, PacketId};
+
+    #[test]
+    fn null_shim_is_transparent() {
+        let mut s = NullShim;
+        let mut p = Packet {
+            id: PacketId(0),
+            src: Addr::new(1, 0, 0, 1),
+            dst: Addr::new(2, 0, 0, 2),
+            cap: None,
+            tcp: None,
+            payload_len: 5,
+        };
+        let orig = p.clone();
+        s.on_send(&mut p, SimTime::ZERO);
+        assert_eq!(p, orig);
+        assert!(s.on_receive(&mut p, SimTime::ZERO));
+        assert_eq!(p, orig);
+    }
+}

@@ -1,0 +1,260 @@
+//! End-to-end transport tests over the discrete-event simulator: the
+//! paper's Figure 7 dumbbell with no attackers, plain FIFO queues.
+
+use tva_sim::{DropTail, NodeId, SimDuration, SimTime, TopologyBuilder};
+use tva_transport::{
+    summarize, ClientNode, FloodNode, NullShim, ServerNode, TcpConfig, TOKEN_START,
+};
+use tva_wire::{Addr, Packet, PacketId};
+
+const SERVER: Addr = Addr::new(10, 0, 0, 1);
+
+fn client_addr(i: usize) -> Addr {
+    Addr::new(20, 0, (i / 250) as u8, (i % 250) as u8)
+}
+
+fn q() -> Box<DropTail> {
+    // ~50 packets of queue at the bottleneck, a typical droptail sizing.
+    Box::new(DropTail::new(50 * 1040))
+}
+
+/// Builds the Figure 7 dumbbell with `n_users` legacy clients and returns
+/// (sim, client node ids). Topology: clients —10ms— R1 —10Mb/10ms— R2 —10ms— server.
+fn dumbbell(n_users: usize, transfers: usize) -> (tva_sim::Simulator, Vec<NodeId>) {
+    let mut t = TopologyBuilder::new();
+    // Routers are plain forwarders here; the transport crate has no
+    // capability logic. Reuse SinkNode-free forwarding via a tiny node.
+    struct Fwd;
+    impl tva_sim::Node for Fwd {
+        fn on_packet(
+            &mut self,
+            pkt: Packet,
+            _from: tva_sim::ChannelId,
+            ctx: &mut dyn tva_sim::Ctx,
+        ) {
+            ctx.send(pkt);
+        }
+        fn on_timer(&mut self, _t: u64, _ctx: &mut dyn tva_sim::Ctx) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    let r1 = t.add_node(Box::new(Fwd));
+    let r2 = t.add_node(Box::new(Fwd));
+    let server = t.add_node(Box::new(ServerNode::new(
+        SERVER,
+        TcpConfig::default(),
+        Box::new(NullShim),
+    )));
+    t.bind_addr(server, SERVER);
+    // Bottleneck: 10 Mb/s, 10 ms.
+    t.link(r1, r2, 10_000_000, SimDuration::from_millis(10), q(), q());
+    // Server access link: fast so the bottleneck stays at r1→r2.
+    t.link(r2, server, 100_000_000, SimDuration::from_millis(10), q(), q());
+
+    let mut clients = Vec::new();
+    for i in 0..n_users {
+        let addr = client_addr(i);
+        let c = t.add_node(Box::new(ClientNode::new(
+            addr,
+            SERVER,
+            20 * 1024,
+            transfers,
+            TcpConfig::default(),
+            Box::new(NullShim),
+        )));
+        t.bind_addr(c, addr);
+        t.link(c, r1, 100_000_000, SimDuration::from_millis(10), q(), q());
+        clients.push(c);
+    }
+    (t.build(99), clients)
+}
+
+#[test]
+fn single_transfer_takes_about_a_third_of_a_second() {
+    // The paper: "TCP inefficiencies limit the effective throughput of a
+    // legitimate user to be no more than 533Kb/s in our scenario" and the
+    // unattacked transfer time is 0.31 s.
+    let (mut sim, clients) = dumbbell(1, 1);
+    sim.kick(clients[0], TOKEN_START);
+    sim.run_until(SimTime::from_secs(30));
+    let c = sim.node::<ClientNode>(clients[0]);
+    assert!(c.done());
+    let d = c.records[0].duration_secs().expect("transfer completed");
+    assert!(
+        (0.25..0.40).contains(&d),
+        "transfer took {d}s, paper reports ≈0.31s"
+    );
+}
+
+#[test]
+fn ten_users_no_contention() {
+    // 10 users × 1 Mb/s nominal on a 10 Mb/s link: effectively no
+    // contention, all complete quickly.
+    let (mut sim, clients) = dumbbell(10, 20);
+    for &c in &clients {
+        sim.kick(c, TOKEN_START);
+    }
+    sim.run_until(SimTime::from_secs(120));
+    let mut all = Vec::new();
+    for &c in &clients {
+        let node = sim.node::<ClientNode>(c);
+        assert!(node.done(), "client should finish 20 transfers");
+        all.extend(node.records.iter().copied());
+    }
+    let s = summarize(&all);
+    assert_eq!(s.attempts, 200);
+    assert!(s.completion_fraction > 0.99, "fraction {}", s.completion_fraction);
+    assert!(s.avg_completion_secs < 0.6, "avg {}", s.avg_completion_secs);
+}
+
+#[test]
+fn legacy_flood_starves_legacy_clients() {
+    // Sanity-check the *attack* dynamics with no defense: 50 attackers at
+    // 1 Mb/s each (5× the bottleneck) should crush completion rates --
+    // the "Internet" line of Figure 8. At 5x overload (p=0.8) the paper's
+    // analytic model gives ≈0.08 completion.
+    let (sim_base, clients) = dumbbell(10, 5);
+    drop(sim_base); // rebuild with attackers below
+    let mut t = TopologyBuilder::new();
+    struct Fwd;
+    impl tva_sim::Node for Fwd {
+        fn on_packet(
+            &mut self,
+            pkt: Packet,
+            _from: tva_sim::ChannelId,
+            ctx: &mut dyn tva_sim::Ctx,
+        ) {
+            ctx.send(pkt);
+        }
+        fn on_timer(&mut self, _t: u64, _ctx: &mut dyn tva_sim::Ctx) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+    let r1 = t.add_node(Box::new(Fwd));
+    let r2 = t.add_node(Box::new(Fwd));
+    let server = t.add_node(Box::new(ServerNode::new(
+        SERVER,
+        TcpConfig::default(),
+        Box::new(NullShim),
+    )));
+    t.bind_addr(server, SERVER);
+    t.link(r1, r2, 10_000_000, SimDuration::from_millis(10), q(), q());
+    t.link(r2, server, 100_000_000, SimDuration::from_millis(10), q(), q());
+    let mut cs = Vec::new();
+    for i in 0..10 {
+        let addr = client_addr(i);
+        let c = t.add_node(Box::new(ClientNode::new(
+            addr,
+            SERVER,
+            20 * 1024,
+            5,
+            TcpConfig::default(),
+            Box::new(NullShim),
+        )));
+        t.bind_addr(c, addr);
+        t.link(c, r1, 100_000_000, SimDuration::from_millis(10), q(), q());
+        cs.push(c);
+    }
+    for i in 0..50 {
+        let addr = Addr::new(66, 0, 0, i as u8 + 1);
+        let a = t.add_node(Box::new(FloodNode::new(
+            1_000_000,
+            Box::new(move |_now, _seq| {
+                Some(Packet {
+                    id: PacketId(0),
+                    src: addr,
+                    dst: SERVER,
+                    cap: None,
+                    tcp: None,
+                    payload_len: 980,
+                })
+            }),
+        )));
+        t.bind_addr(a, addr);
+        t.link(a, r1, 100_000_000, SimDuration::from_millis(10), q(), q());
+        sim_kick_later(&mut cs, a); // no-op helper to silence unused warnings
+    }
+    let mut sim = t.build(5);
+    for i in 0..50 {
+        // Attacker nodes were added after the clients; their ids follow.
+        sim.kick(NodeId(3 + 10 + i), 0);
+    }
+    for &c in &cs {
+        sim.kick(c, TOKEN_START);
+    }
+    sim.run_until(SimTime::from_secs(200));
+    let mut all = Vec::new();
+    for &c in &cs {
+        all.extend(sim.node::<ClientNode>(c).records.iter().copied());
+    }
+    let s = summarize(&all);
+    assert!(
+        s.completion_fraction < 0.5,
+        "5x overload should crush legacy TCP, got fraction {}",
+        s.completion_fraction
+    );
+    let _ = clients;
+}
+
+fn sim_kick_later(_cs: &mut [NodeId], _a: NodeId) {}
+
+#[test]
+#[ignore]
+fn debug_flood_dynamics() {
+    // replicated from legacy_flood test with instrumentation
+    let mut t = TopologyBuilder::new();
+    struct Fwd;
+    impl tva_sim::Node for Fwd {
+        fn on_packet(&mut self, pkt: Packet, _from: tva_sim::ChannelId, ctx: &mut dyn tva_sim::Ctx) { ctx.send(pkt); }
+        fn on_timer(&mut self, _t: u64, _ctx: &mut dyn tva_sim::Ctx) {}
+        fn as_any(&self) -> &dyn std::any::Any { self }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+    }
+    let r1 = t.add_node(Box::new(Fwd));
+    let r2 = t.add_node(Box::new(Fwd));
+    let server = t.add_node(Box::new(ServerNode::new(SERVER, TcpConfig::default(), Box::new(NullShim))));
+    t.bind_addr(server, SERVER);
+    let bott = t.link(r1, r2, 10_000_000, SimDuration::from_millis(10), q(), q());
+    t.link(r2, server, 100_000_000, SimDuration::from_millis(10), q(), q());
+    let mut cs = Vec::new();
+    for i in 0..10 {
+        let addr = client_addr(i);
+        let c = t.add_node(Box::new(ClientNode::new(addr, SERVER, 20*1024, 5, TcpConfig::default(), Box::new(NullShim))));
+        t.bind_addr(c, addr);
+        t.link(c, r1, 100_000_000, SimDuration::from_millis(10), q(), q());
+        cs.push(c);
+    }
+    let mut atks = Vec::new();
+    for i in 0..50 {
+        let addr = Addr::new(66, 0, 0, i as u8 + 1);
+        let a = t.add_node(Box::new(FloodNode::new(1_000_000, Box::new(move |_n,_s| Some(Packet{id:PacketId(0),src:addr,dst:SERVER,cap:None,tcp:None,payload_len:980})))));
+        t.bind_addr(a, addr);
+        t.link(a, r1, 100_000_000, SimDuration::from_millis(10), q(), q());
+        atks.push(a);
+    }
+    let mut sim = t.build(5);
+    for &a in &atks { sim.kick(a, 0); }
+    for &c in &cs { sim.kick(c, TOKEN_START); }
+    sim.run_until(SimTime::from_secs(200));
+    let st = &sim.channel(bott.ab).stats;
+    eprintln!("bottleneck: enq={} drop={} droprate={:.3} tx_bytes={}", st.enqueued_pkts, st.dropped_pkts, st.drop_rate(), st.tx_bytes);
+    let mut resolved=0; let mut comp=0; let mut pending=0;
+    for &c in &cs {
+        let n = sim.node::<ClientNode>(c);
+        resolved += n.records.len();
+        comp += n.records.iter().filter(|r| r.finished.is_some()).count();
+        if !n.done() { pending+=1; }
+    }
+    eprintln!("resolved={resolved} completed={comp} clients_pending={pending}");
+    let flooded: u64 = atks.iter().map(|&a| sim.node::<FloodNode>(a).emitted).sum();
+    eprintln!("flood packets emitted total = {flooded}");
+}

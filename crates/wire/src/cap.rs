@@ -1,0 +1,153 @@
+//! Capability values, flow nonces and path identifiers (Figures 3 and 5).
+
+use std::fmt;
+
+/// Maximum number of capability routers on a path that a request can
+/// accumulate stamps from. The paper's format has an 8-bit capability count;
+/// we bound it lower to keep header overhead realistic (Internet paths rarely
+/// cross more than ~30 ASes).
+pub const MAX_PATH_ROUTERS: usize = 32;
+
+/// A 64-bit capability word: an 8-bit router timestamp (modulo-256 seconds
+/// clock) plus 56 bits of keyed hash (Figure 3). The same layout is used for
+/// pre-capabilities (minted by routers on requests) and full capabilities
+/// (pre-capability re-hashed with `N` and `T` by the destination); only the
+/// hash input differs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CapValue {
+    ts: u8,
+    hash56: u64,
+}
+
+impl CapValue {
+    /// Builds a capability word. The hash is masked to 56 bits.
+    pub const fn new(ts: u8, hash56: u64) -> Self {
+        CapValue { ts, hash56: hash56 & ((1u64 << 56) - 1) }
+    }
+
+    /// The router timestamp (seconds, modulo 256) embedded in the word.
+    #[inline]
+    pub const fn timestamp(self) -> u8 {
+        self.ts
+    }
+
+    /// The 56-bit hash part.
+    #[inline]
+    pub const fn hash56(self) -> u64 {
+        self.hash56
+    }
+
+    /// Packs into the 64-bit wire representation: timestamp in the top byte.
+    #[inline]
+    pub const fn to_u64(self) -> u64 {
+        ((self.ts as u64) << 56) | self.hash56
+    }
+
+    /// Unpacks from the 64-bit wire representation.
+    #[inline]
+    pub const fn from_u64(v: u64) -> Self {
+        CapValue { ts: (v >> 56) as u8, hash56: v & ((1u64 << 56) - 1) }
+    }
+}
+
+impl fmt::Debug for CapValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CapValue(ts={}, h={:014x})", self.ts, self.hash56)
+    }
+}
+
+/// A 48-bit flow nonce, chosen randomly by the sender when it obtains fresh
+/// capabilities (§3.7). Once a router has validated the capability list for
+/// a flow and cached it, subsequent packets carry only this nonce and the
+/// router matches it against the cached value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowNonce(u64);
+
+impl FlowNonce {
+    /// Builds a nonce, masking to 48 bits.
+    pub const fn new(v: u64) -> Self {
+        FlowNonce(v & ((1u64 << 48) - 1))
+    }
+
+    /// The raw 48-bit value.
+    #[inline]
+    pub const fn to_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for FlowNonce {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FlowNonce({:012x})", self.0)
+    }
+}
+
+/// A 16-bit path identifier tag (§3.2). Routers at the ingress of a trust
+/// boundary (e.g. an AS edge) tag requests with a value derived from the
+/// incoming interface; downstream, requests are fair-queued by their most
+/// recent tag, which approximates a source locator that attackers cannot
+/// spoof beyond their own ingress.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(pub u16);
+
+impl PathId {
+    /// The "no tag" sentinel: a router that is not at a trust boundary does
+    /// not tag (the upstream boundary already did).
+    pub const NONE: PathId = PathId(0);
+
+    /// Whether this slot carries a real tag.
+    #[inline]
+    pub const fn is_tagged(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Debug for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PathId({:04x})", self.0)
+    }
+}
+
+/// One entry accumulated by a request as it crosses a capability router: the
+/// router's pre-capability stamp, plus a path-identifier tag if that router
+/// sits at a trust boundary (Figure 5 pairs each blank capability slot with a
+/// path-id slot; untagged slots carry [`PathId::NONE`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RequestEntry {
+    /// Trust-boundary tag, or [`PathId::NONE`].
+    pub path_id: PathId,
+    /// The router's pre-capability stamp.
+    pub precap: CapValue,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capvalue_pack_unpack() {
+        let c = CapValue::new(0xAB, 0x00DE_ADBE_EF12_3456);
+        assert_eq!(CapValue::from_u64(c.to_u64()), c);
+        assert_eq!(c.timestamp(), 0xAB);
+        assert_eq!(c.hash56(), 0x00DE_ADBE_EF12_3456);
+    }
+
+    #[test]
+    fn capvalue_masks_hash_to_56_bits() {
+        let c = CapValue::new(1, u64::MAX);
+        assert_eq!(c.hash56(), (1u64 << 56) - 1);
+        assert_eq!(c.to_u64() >> 56, 1);
+    }
+
+    #[test]
+    fn flow_nonce_masks_to_48_bits() {
+        let n = FlowNonce::new(u64::MAX);
+        assert_eq!(n.to_u64(), (1u64 << 48) - 1);
+    }
+
+    #[test]
+    fn path_id_none_is_untagged() {
+        assert!(!PathId::NONE.is_tagged());
+        assert!(PathId(7).is_tagged());
+    }
+}

@@ -1,0 +1,291 @@
+//! Binary encoding of the capability header.
+//!
+//! The simulator carries packets in structured form for speed, but the wire
+//! codec is what an inline deployment box (§8) would parse, so it is
+//! implemented and tested bit-exactly against the field layout of Figure 5.
+//! Decoding is strict: trailing garbage, truncation, bad versions or
+//! inconsistent counts are errors, never panics.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::cap::{CapValue, FlowNonce, PathId, RequestEntry, MAX_PATH_ROUTERS};
+use crate::error::WireError;
+use crate::header::{CapHeader, CapKind, CapPayload, ReturnInfo, VERSION};
+use crate::nt::Grant;
+
+/// Return-info type byte: demotion notification.
+const RET_DEMOTION: u8 = 0b0000_0001;
+/// Return-info type byte: capability list follows.
+const RET_CAPS: u8 = 0b0000_0010;
+
+/// Encodes `header` (with the given upper-layer protocol number) to bytes.
+pub fn encode(header: &CapHeader, upper_proto: u8) -> Bytes {
+    let mut b = BytesMut::with_capacity(header.encoded_len());
+    let vt = (VERSION << 4) | header.type_nibble();
+    b.put_u8(vt);
+    b.put_u8(upper_proto);
+    match &header.payload {
+        CapPayload::Request { entries } => {
+            b.put_u8(entries.len() as u8); // capability num
+            b.put_u8(entries.len() as u8); // capability ptr (next blank slot)
+            for e in entries {
+                b.put_u16(e.path_id.0);
+                b.put_u64(e.precap.to_u64());
+            }
+        }
+        CapPayload::Regular { nonce, caps, .. } => {
+            // 48-bit nonce, big-endian.
+            let n = nonce.to_u64();
+            b.put_u16((n >> 32) as u16);
+            b.put_u32(n as u32);
+            if let Some((grant, list)) = caps {
+                b.put_u8(list.len() as u8); // capability num
+                b.put_u8(match &header.payload {
+                    CapPayload::Regular { ptr, .. } => *ptr,
+                    CapPayload::Request { .. } => 0,
+                });
+                b.put_u16(grant.pack());
+                for c in list {
+                    b.put_u64(c.to_u64());
+                }
+            }
+        }
+    }
+    match &header.return_info {
+        None => {}
+        Some(ReturnInfo::DemotionNotice) => b.put_u8(RET_DEMOTION),
+        Some(ReturnInfo::Capabilities { grant, caps }) => {
+            b.put_u8(RET_CAPS);
+            b.put_u8(caps.len() as u8);
+            b.put_u16(grant.pack());
+            for c in caps {
+                b.put_u64(c.to_u64());
+            }
+        }
+    }
+    b.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Decodes a capability header; returns the header and the upper protocol.
+/// Strict: trailing bytes are an error. Use [`decode_prefix`] when the
+/// header is embedded in a larger packet.
+pub fn decode(buf: &[u8]) -> Result<(CapHeader, u8), WireError> {
+    let (header, upper, used) = decode_prefix(buf)?;
+    if used != buf.len() {
+        return Err(WireError::TrailingBytes(buf.len() - used));
+    }
+    Ok((header, upper))
+}
+
+/// Decodes one capability header from the front of `buf`; returns the
+/// header, the upper protocol, and the number of bytes consumed. The shim
+/// is self-describing (its counts determine its length), so no outer
+/// framing is needed.
+pub fn decode_prefix(buf: &[u8]) -> Result<(CapHeader, u8, usize), WireError> {
+    let original = buf.len();
+    let mut buf = buf;
+    need(&buf, 2)?;
+    let vt = buf.get_u8();
+    let version = vt >> 4;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let type_nibble = vt & 0x0F;
+    let demoted = type_nibble & 0b1000 != 0;
+    let has_return = type_nibble & 0b0100 != 0;
+    let kind = CapKind::from_bits(type_nibble);
+    let upper_proto = buf.get_u8();
+
+    let payload = match kind {
+        CapKind::Request => {
+            need(&buf, 2)?;
+            let num = buf.get_u8() as usize;
+            let _ptr = buf.get_u8();
+            if num > MAX_PATH_ROUTERS {
+                return Err(WireError::BadCount(num));
+            }
+            let mut entries = Vec::with_capacity(num);
+            for _ in 0..num {
+                need(&buf, 10)?;
+                let path_id = PathId(buf.get_u16());
+                let precap = CapValue::from_u64(buf.get_u64());
+                entries.push(RequestEntry { path_id, precap });
+            }
+            CapPayload::Request { entries }
+        }
+        CapKind::RegularNonceOnly | CapKind::RegularWithCaps | CapKind::Renewal => {
+            need(&buf, 6)?;
+            let hi = buf.get_u16() as u64;
+            let lo = buf.get_u32() as u64;
+            let nonce = FlowNonce::new((hi << 32) | lo);
+            let mut ptr = 0;
+            let caps = if kind == CapKind::RegularNonceOnly {
+                None
+            } else {
+                need(&buf, 4)?;
+                let num = buf.get_u8() as usize;
+                ptr = buf.get_u8();
+                if num > MAX_PATH_ROUTERS {
+                    return Err(WireError::BadCount(num));
+                }
+                let grant = Grant::unpack(buf.get_u16());
+                let mut list = Vec::with_capacity(num);
+                for _ in 0..num {
+                    need(&buf, 8)?;
+                    list.push(CapValue::from_u64(buf.get_u64()));
+                }
+                Some((grant, list))
+            };
+            CapPayload::Regular { nonce, ptr, caps, renewal: kind == CapKind::Renewal }
+        }
+    };
+
+    let return_info = if has_return {
+        need(&buf, 1)?;
+        match buf.get_u8() {
+            RET_DEMOTION => Some(ReturnInfo::DemotionNotice),
+            RET_CAPS => {
+                need(&buf, 3)?;
+                let num = buf.get_u8() as usize;
+                if num > MAX_PATH_ROUTERS {
+                    return Err(WireError::BadCount(num));
+                }
+                let grant = Grant::unpack(buf.get_u16());
+                let mut caps = Vec::with_capacity(num);
+                for _ in 0..num {
+                    need(&buf, 8)?;
+                    caps.push(CapValue::from_u64(buf.get_u64()));
+                }
+                Some(ReturnInfo::Capabilities { grant, caps })
+            }
+            other => return Err(WireError::BadReturnType(other)),
+        }
+    } else {
+        None
+    };
+
+    Ok((
+        CapHeader { demoted, payload, return_info },
+        upper_proto,
+        original - buf.remaining(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_caps() -> Vec<CapValue> {
+        vec![CapValue::new(10, 0xAABBCC), CapValue::new(200, 0x112233445566)]
+    }
+
+    #[test]
+    fn roundtrip_request() {
+        let mut h = CapHeader::request();
+        if let CapPayload::Request { entries } = &mut h.payload {
+            entries.push(RequestEntry { path_id: PathId(0x1234), precap: CapValue::new(7, 99) });
+            entries.push(RequestEntry { path_id: PathId::NONE, precap: CapValue::new(8, 100) });
+        }
+        let bytes = encode(&h, 6);
+        assert_eq!(bytes.len(), h.encoded_len());
+        let (decoded, proto) = decode(&bytes).unwrap();
+        assert_eq!(decoded, h);
+        assert_eq!(proto, 6);
+    }
+
+    #[test]
+    fn roundtrip_regular_with_caps_and_return() {
+        let mut h = CapHeader::regular_with_caps(
+            FlowNonce::new(0xFACE_CAFE_BEEF),
+            Grant::from_parts(100, 10),
+            sample_caps(),
+        );
+        h.return_info = Some(ReturnInfo::Capabilities {
+            grant: Grant::from_parts(32, 10),
+            caps: sample_caps(),
+        });
+        let bytes = encode(&h, 17);
+        assert_eq!(bytes.len(), h.encoded_len());
+        let (decoded, proto) = decode(&bytes).unwrap();
+        assert_eq!(decoded, h);
+        assert_eq!(proto, 17);
+    }
+
+    #[test]
+    fn roundtrip_nonce_only_demoted() {
+        let mut h = CapHeader::regular_nonce_only(FlowNonce::new(42));
+        h.demoted = true;
+        h.return_info = Some(ReturnInfo::DemotionNotice);
+        let bytes = encode(&h, 6);
+        let (decoded, _) = decode(&bytes).unwrap();
+        assert_eq!(decoded, h);
+    }
+
+    #[test]
+    fn roundtrip_renewal() {
+        let h = CapHeader::renewal(
+            FlowNonce::new(7),
+            Grant::from_parts(512, 30),
+            sample_caps(),
+        );
+        let (decoded, _) = decode(&encode(&h, 6)).unwrap();
+        assert_eq!(decoded, h);
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        let h = CapHeader::regular_with_caps(
+            FlowNonce::new(1),
+            Grant::from_parts(10, 10),
+            sample_caps(),
+        );
+        let bytes = encode(&h, 6);
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(decode(&bytes[..cut]), Err(WireError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_errors() {
+        let h = CapHeader::regular_nonce_only(FlowNonce::new(9));
+        let mut v = encode(&h, 6).to_vec();
+        v.push(0xFF);
+        assert!(matches!(decode(&v), Err(WireError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn bad_version_errors() {
+        let h = CapHeader::regular_nonce_only(FlowNonce::new(9));
+        let mut v = encode(&h, 6).to_vec();
+        v[0] = (0xF << 4) | (v[0] & 0x0F);
+        assert!(matches!(decode(&v), Err(WireError::BadVersion(15))));
+    }
+
+    #[test]
+    fn oversized_count_errors() {
+        let h = CapHeader::request();
+        let mut v = encode(&h, 6).to_vec();
+        v[2] = 255; // capability num
+        assert!(matches!(decode(&v), Err(WireError::BadCount(255))));
+    }
+
+    #[test]
+    fn bad_return_type_errors() {
+        let mut h = CapHeader::regular_nonce_only(FlowNonce::new(9));
+        h.return_info = Some(ReturnInfo::DemotionNotice);
+        let mut v = encode(&h, 6).to_vec();
+        *v.last_mut().unwrap() = 0x77;
+        assert!(matches!(decode(&v), Err(WireError::BadReturnType(0x77))));
+    }
+}

@@ -1,0 +1,292 @@
+//! Full on-wire serialization of a simulated [`Packet`]: IPv4 header,
+//! optional capability shim, optional TCP header, zero-filled payload.
+//!
+//! The simulator carries structured packets; this codec is what an inline
+//! deployment box (§8) would emit and parse on a real wire. TVA's shim
+//! layer rides as an IPv4 payload under its own protocol number, itself
+//! carrying the upper protocol (§4.1: "We implement this as a shim layer
+//! above IP"); the header's first eight bytes deliberately contain no
+//! pre-capability material so ICMP error bodies cannot leak stamps (§7).
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::addr::Addr;
+use crate::codec;
+use crate::error::WireError;
+use crate::packet::{Packet, PacketId, TcpFlags, TcpSegment, IP_HEADER_LEN, TCP_HEADER_LEN};
+
+/// The IPv4 protocol number carried by packets bearing the capability shim
+/// (an experimentation number; a deployment would register one).
+pub const IPPROTO_TVA: u8 = 253;
+
+/// The protocol number for plain TCP (legacy packets).
+pub const IPPROTO_TCP: u8 = 6;
+
+/// Upper-protocol value used inside the shim when no transport follows.
+pub const UPPER_NONE: u8 = 0;
+
+/// The IPv4 protocol number used for legacy packets carrying opaque
+/// payload with no transport header (e.g. raw flood traffic).
+pub const IPPROTO_DATA: u8 = 252;
+
+/// Computes the RFC 1071 internet checksum of `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+fn put_ipv4_header(out: &mut BytesMut, pkt: &Packet, total_len: u16, proto: u8) {
+    let start = out.len();
+    out.put_u8(0x45); // version 4, IHL 5
+    out.put_u8(0); // DSCP/ECN
+    out.put_u16(total_len);
+    out.put_u16((pkt.id.0 & 0xFFFF) as u16); // identification (tracing only)
+    out.put_u16(0); // flags/fragment offset
+    out.put_u8(64); // TTL
+    out.put_u8(proto);
+    out.put_u16(0); // checksum placeholder
+    out.put_u32(pkt.src.to_u32());
+    out.put_u32(pkt.dst.to_u32());
+    let csum = internet_checksum(&out[start..start + IP_HEADER_LEN]);
+    out[start + 10..start + 12].copy_from_slice(&csum.to_be_bytes());
+}
+
+fn put_tcp_header(out: &mut BytesMut, seg: &TcpSegment) {
+    out.put_u16(seg.src_port);
+    out.put_u16(seg.dst_port);
+    out.put_u32(seg.seq);
+    out.put_u32(seg.ack);
+    let mut flags: u16 = (5 << 12) & 0xF000; // data offset 5 words
+    if seg.flags.fin {
+        flags |= 0x01;
+    }
+    if seg.flags.syn {
+        flags |= 0x02;
+    }
+    if seg.flags.rst {
+        flags |= 0x04;
+    }
+    if seg.flags.ack {
+        flags |= 0x10;
+    }
+    out.put_u16(flags);
+    out.put_u16(0xFFFF); // window (flow control is not modeled)
+    out.put_u16(0); // checksum (not computed: payload bytes are synthetic)
+    out.put_u16(0); // urgent
+}
+
+/// Serializes `pkt` to its full on-wire byte representation. The payload is
+/// zero-filled: the simulator tracks payload length, not contents.
+pub fn encode_packet(pkt: &Packet) -> Vec<u8> {
+    let total = pkt.wire_len();
+    assert!(total <= u16::MAX as u32, "packet exceeds the IPv4 total-length field");
+    let mut out = BytesMut::with_capacity(total as usize);
+    let proto = if pkt.cap.is_some() {
+        IPPROTO_TVA
+    } else if pkt.tcp.is_some() {
+        IPPROTO_TCP
+    } else {
+        IPPROTO_DATA
+    };
+    put_ipv4_header(&mut out, pkt, total as u16, proto);
+    if let Some(cap) = &pkt.cap {
+        let upper = if pkt.tcp.is_some() { IPPROTO_TCP } else { UPPER_NONE };
+        out.extend_from_slice(&codec::encode(cap, upper));
+    }
+    if let Some(tcp) = &pkt.tcp {
+        put_tcp_header(&mut out, tcp);
+    }
+    out.resize(total as usize, 0);
+    out.to_vec()
+}
+
+fn parse_tcp(buf: &mut &[u8]) -> Result<TcpSegment, WireError> {
+    if buf.remaining() < TCP_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let src_port = buf.get_u16();
+    let dst_port = buf.get_u16();
+    let seq = buf.get_u32();
+    let ack = buf.get_u32();
+    let flags_raw = buf.get_u16();
+    let _window = buf.get_u16();
+    let _csum = buf.get_u16();
+    let _urgent = buf.get_u16();
+    Ok(TcpSegment {
+        src_port,
+        dst_port,
+        seq,
+        ack,
+        flags: TcpFlags {
+            fin: flags_raw & 0x01 != 0,
+            syn: flags_raw & 0x02 != 0,
+            rst: flags_raw & 0x04 != 0,
+            ack: flags_raw & 0x10 != 0,
+        },
+    })
+}
+
+/// Parses a full on-wire packet. The IPv4 header checksum is verified;
+/// payload contents are discarded (only the length is kept).
+pub fn decode_packet(data: &[u8]) -> Result<Packet, WireError> {
+    if data.len() < IP_HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if internet_checksum(&data[..IP_HEADER_LEN]) != 0 {
+        return Err(WireError::BadVersion(0xFF)); // corrupted header
+    }
+    let mut buf = data;
+    let vihl = buf.get_u8();
+    if vihl != 0x45 {
+        return Err(WireError::BadVersion(vihl >> 4));
+    }
+    let _tos = buf.get_u8();
+    let total_len = buf.get_u16() as usize;
+    if total_len != data.len() {
+        return Err(WireError::TrailingBytes(data.len().abs_diff(total_len)));
+    }
+    let id = buf.get_u16();
+    let _frag = buf.get_u16();
+    let _ttl = buf.get_u8();
+    let proto = buf.get_u8();
+    let _csum = buf.get_u16();
+    let src = Addr(buf.get_u32());
+    let dst = Addr(buf.get_u32());
+
+    let (cap, upper) = if proto == IPPROTO_TVA {
+        let (h, upper, used) = codec::decode_prefix(buf)?;
+        buf.advance(used);
+        (Some(h), upper)
+    } else {
+        (None, proto)
+    };
+
+    let has_tcp = upper == IPPROTO_TCP;
+    let tcp = if has_tcp {
+        Some(parse_tcp(&mut buf)?)
+    } else {
+        None
+    };
+
+    let payload_len = buf.remaining() as u32;
+    Ok(Packet { id: PacketId(id as u64), src, dst, cap, tcp, payload_len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cap::FlowNonce;
+    use crate::header::CapHeader;
+    use crate::nt::Grant;
+
+    fn pkt(cap: Option<CapHeader>, tcp: Option<TcpSegment>, payload: u32) -> Packet {
+        Packet {
+            id: PacketId(7),
+            src: Addr::new(10, 0, 0, 1),
+            dst: Addr::new(10, 0, 0, 2),
+            cap,
+            tcp,
+            payload_len: payload,
+        }
+    }
+
+    fn eq_modulo_id(a: &Packet, b: &Packet) {
+        assert_eq!(a.src, b.src);
+        assert_eq!(a.dst, b.dst);
+        assert_eq!(a.cap, b.cap);
+        assert_eq!(a.tcp, b.tcp);
+        assert_eq!(a.payload_len, b.payload_len);
+    }
+
+    #[test]
+    fn legacy_tcp_roundtrip() {
+        let p = pkt(None, Some(TcpSegment::syn(1000, 80, 0)), 0);
+        let bytes = encode_packet(&p);
+        assert_eq!(bytes.len() as u32, p.wire_len());
+        eq_modulo_id(&p, &decode_packet(&bytes).unwrap());
+    }
+
+    #[test]
+    fn shim_plus_tcp_plus_payload_roundtrip() {
+        let cap = CapHeader::regular_with_caps(
+            FlowNonce::new(0xABCD),
+            Grant::from_parts(100, 10),
+            vec![crate::cap::CapValue::new(3, 99)],
+        );
+        let seg = TcpSegment {
+            src_port: 1234,
+            dst_port: 80,
+            seq: 1,
+            ack: 1,
+            flags: TcpFlags { ack: true, ..Default::default() },
+        };
+        let p = pkt(Some(cap), Some(seg), 1000);
+        let bytes = encode_packet(&p);
+        assert_eq!(bytes.len() as u32, p.wire_len());
+        eq_modulo_id(&p, &decode_packet(&bytes).unwrap());
+    }
+
+    #[test]
+    fn bare_shim_roundtrip() {
+        let p = pkt(Some(CapHeader::request()), None, 0);
+        let bytes = encode_packet(&p);
+        eq_modulo_id(&p, &decode_packet(&bytes).unwrap());
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let p = pkt(None, Some(TcpSegment::syn(1, 2, 3)), 10);
+        let mut bytes = encode_packet(&p);
+        bytes[12] ^= 0xFF; // flip a source-address byte
+        assert!(decode_packet(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let p = pkt(None, Some(TcpSegment::syn(1, 2, 3)), 10);
+        let bytes = encode_packet(&p);
+        for cut in [0, 10, IP_HEADER_LEN, bytes.len() - 1] {
+            assert!(decode_packet(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn checksum_reference_value() {
+        // RFC 1071 example-style check: checksum of a buffer containing its
+        // own checksum folds to zero.
+        let p = pkt(None, None, 0);
+        let bytes = encode_packet(&p);
+        assert_eq!(internet_checksum(&bytes[..IP_HEADER_LEN]), 0);
+    }
+
+    #[test]
+    fn first_eight_bytes_carry_no_capability_material() {
+        // §7: ICMP errors quote the first 8 bytes past the IP header; those
+        // must be the common header + counts, never pre-capability hashes.
+        let mut h = CapHeader::request();
+        if let crate::header::CapPayload::Request { entries } = &mut h.payload {
+            entries.push(crate::cap::RequestEntry {
+                path_id: crate::cap::PathId(1),
+                precap: crate::cap::CapValue::new(9, 0x00DE_ADBE_EF99_1234),
+            });
+        }
+        let p = pkt(Some(h), None, 0);
+        let bytes = encode_packet(&p);
+        let first8 = &bytes[IP_HEADER_LEN..IP_HEADER_LEN + 8];
+        let stamp = 0x00DE_ADBE_EF99_1234u64.to_be_bytes();
+        assert!(
+            !first8.windows(4).any(|w| stamp.windows(4).any(|s| s == w)),
+            "pre-capability bytes leaked into the ICMP-visible prefix"
+        );
+    }
+}

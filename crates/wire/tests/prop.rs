@@ -1,0 +1,135 @@
+//! Property tests: every well-formed capability header round-trips through
+//! the binary codec, `encoded_len` always matches the actual encoding, and
+//! arbitrary byte soup never panics the decoder.
+
+use proptest::prelude::*;
+use tva_wire::{
+    decode, encode, CapHeader, CapPayload, CapValue, FlowNonce, Grant, PathId, RequestEntry,
+    ReturnInfo, MAX_PATH_ROUTERS,
+};
+
+fn arb_capvalue() -> impl Strategy<Value = CapValue> {
+    (any::<u8>(), any::<u64>()).prop_map(|(ts, h)| CapValue::new(ts, h))
+}
+
+fn arb_grant() -> impl Strategy<Value = Grant> {
+    (0u16..=1023, 0u8..=63).prop_map(|(kb, s)| Grant::from_parts(kb, s))
+}
+
+fn arb_caps() -> impl Strategy<Value = Vec<CapValue>> {
+    proptest::collection::vec(arb_capvalue(), 0..MAX_PATH_ROUTERS)
+}
+
+fn arb_payload() -> impl Strategy<Value = CapPayload> {
+    let request = proptest::collection::vec(
+        (any::<u16>(), arb_capvalue())
+            .prop_map(|(pid, precap)| RequestEntry { path_id: PathId(pid), precap }),
+        0..MAX_PATH_ROUTERS,
+    )
+    .prop_map(|entries| CapPayload::Request { entries });
+
+    let regular = (
+        any::<u64>(),
+        any::<u8>(),
+        proptest::option::of((arb_grant(), arb_caps())),
+        any::<bool>(),
+    )
+        .prop_map(|(nonce, ptr, caps, renewal)| {
+            // A renewal requires a capability list by construction; the ptr
+            // field only exists on the wire when a capability list does.
+            let renewal = renewal && caps.is_some();
+            let ptr = if caps.is_some() { ptr } else { 0 };
+            CapPayload::Regular { nonce: FlowNonce::new(nonce), ptr, caps, renewal }
+        });
+
+    prop_oneof![request, regular]
+}
+
+fn arb_return() -> impl Strategy<Value = Option<ReturnInfo>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(ReturnInfo::DemotionNotice)),
+        (arb_grant(), arb_caps())
+            .prop_map(|(grant, caps)| Some(ReturnInfo::Capabilities { grant, caps })),
+    ]
+}
+
+fn arb_header() -> impl Strategy<Value = CapHeader> {
+    (any::<bool>(), arb_payload(), arb_return())
+        .prop_map(|(demoted, payload, return_info)| CapHeader { demoted, payload, return_info })
+}
+
+proptest! {
+    #[test]
+    fn header_roundtrips(h in arb_header(), proto: u8) {
+        let bytes = encode(&h, proto);
+        prop_assert_eq!(bytes.len(), h.encoded_len());
+        let (decoded, p) = decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, h);
+        prop_assert_eq!(p, proto);
+    }
+
+    #[test]
+    fn decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(&data); // must return, never panic
+    }
+
+    #[test]
+    fn corrupting_any_byte_never_panics(h in arb_header(), proto: u8,
+                                        idx in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let mut v = encode(&h, proto).to_vec();
+        if !v.is_empty() {
+            let i = idx.index(v.len());
+            v[i] ^= 1 << bit;
+            let _ = decode(&v);
+        }
+    }
+}
+
+fn arb_tcp() -> impl Strategy<Value = tva_wire::TcpSegment> {
+    (any::<u16>(), any::<u16>(), any::<u32>(), any::<u32>(), any::<u8>()).prop_map(
+        |(sp, dp, seq, ack, fl)| tva_wire::TcpSegment {
+            src_port: sp,
+            dst_port: dp,
+            seq,
+            ack,
+            flags: tva_wire::TcpFlags {
+                syn: fl & 1 != 0,
+                ack: fl & 2 != 0,
+                fin: fl & 4 != 0,
+                rst: fl & 8 != 0,
+            },
+        },
+    )
+}
+
+proptest! {
+    /// Full on-wire packets round-trip (modulo the 16-bit tracing id).
+    #[test]
+    fn full_packet_roundtrips(h in proptest::option::of(arb_header()),
+                              tcp in proptest::option::of(arb_tcp()),
+                              src: u32, dst: u32, payload in 0u32..20_000, proto_id: u16) {
+        let pkt = tva_wire::Packet {
+            id: tva_wire::PacketId(proto_id as u64),
+            src: tva_wire::Addr(src),
+            dst: tva_wire::Addr(dst),
+            cap: h,
+            tcp,
+            payload_len: payload,
+        };
+        let bytes = tva_wire::encode_packet(&pkt);
+        prop_assert_eq!(bytes.len() as u32, pkt.wire_len());
+        let back = tva_wire::decode_packet(&bytes).unwrap();
+        prop_assert_eq!(back.src, pkt.src);
+        prop_assert_eq!(back.dst, pkt.dst);
+        prop_assert_eq!(back.cap, pkt.cap);
+        prop_assert_eq!(back.tcp, pkt.tcp);
+        prop_assert_eq!(back.payload_len, pkt.payload_len);
+    }
+
+    /// The full-packet decoder never panics on arbitrary bytes.
+    #[test]
+    fn packet_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = tva_wire::decode_packet(&data);
+    }
+}

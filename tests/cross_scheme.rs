@@ -1,0 +1,159 @@
+//! Cross-scheme integration: small versions of the paper's headline
+//! comparisons, asserting the orderings every figure rests on.
+
+use tva::experiments::{run, Attack, ScenarioConfig, Scheme};
+use tva::sim::{SimDuration, SimTime};
+use tva::wire::Grant;
+
+fn base() -> ScenarioConfig {
+    ScenarioConfig {
+        n_users: 5,
+        transfers_per_user: 1000,
+        duration: SimTime::from_secs(60),
+        measure_after: SimTime::from_secs(10),
+        failure_grace: SimDuration::from_secs(30),
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn all_schemes_work_unattacked() {
+    for scheme in Scheme::ALL {
+        let r = run(&ScenarioConfig { scheme, attack: Attack::None, ..base() });
+        assert!(
+            r.summary.completion_fraction > 0.99,
+            "{}: clean-network completion {}",
+            scheme.name(),
+            r.summary.completion_fraction
+        );
+        assert!(
+            r.summary.avg_completion_secs < 0.5,
+            "{}: clean-network time {}",
+            scheme.name(),
+            r.summary.avg_completion_secs
+        );
+    }
+}
+
+#[test]
+fn legacy_flood_ordering_tva_beats_siff_beats_internet() {
+    let k = 60; // 6× the bottleneck
+    let mut frac = Vec::new();
+    for scheme in [Scheme::Tva, Scheme::Siff, Scheme::Internet] {
+        let r = run(&ScenarioConfig {
+            scheme,
+            attack: Attack::LegacyFlood,
+            n_attackers: k,
+            ..base()
+        });
+        frac.push((scheme, r.summary.completion_fraction, r.summary.avg_completion_secs));
+    }
+    let (tva, siff, internet) = (frac[0], frac[1], frac[2]);
+    assert!(tva.1 > 0.99, "TVA completion {}", tva.1);
+    assert!(tva.2 < 0.4, "TVA time {}", tva.2);
+    assert!(siff.1 < tva.1, "SIFF ({}) must lose to TVA ({})", siff.1, tva.1);
+    assert!(
+        internet.1 < 0.3,
+        "the Internet must collapse at 6×, got {}",
+        internet.1
+    );
+    assert!(siff.1 > internet.1, "SIFF must still beat the bare Internet");
+}
+
+#[test]
+fn request_flood_cannot_block_tva_bootstrap() {
+    let r = run(&ScenarioConfig {
+        scheme: Scheme::Tva,
+        attack: Attack::RequestFlood,
+        n_attackers: 60,
+        deny_attackers: true,
+        ..base()
+    });
+    assert!(r.summary.completion_fraction > 0.99, "fraction {}", r.summary.completion_fraction);
+    assert!(r.summary.avg_completion_secs < 0.5, "time {}", r.summary.avg_completion_secs);
+}
+
+#[test]
+fn authorized_flood_splits_bandwidth_under_tva_but_starves_siff() {
+    let tva = run(&ScenarioConfig {
+        scheme: Scheme::Tva,
+        attack: Attack::AuthorizedColluder,
+        n_attackers: 30,
+        ..base()
+    });
+    assert!(tva.summary.completion_fraction > 0.99, "TVA {}", tva.summary.completion_fraction);
+    // Reduced share, slightly higher time, nobody starves (paper: 0.31 →
+    // 0.33 s; our grant bookkeeping adds a bit more).
+    assert!(tva.summary.avg_completion_secs < 1.0, "TVA time {}", tva.summary.avg_completion_secs);
+
+    let siff = run(&ScenarioConfig {
+        scheme: Scheme::Siff,
+        attack: Attack::AuthorizedColluder,
+        n_attackers: 30,
+        ..base()
+    });
+    assert!(
+        siff.summary.completion_fraction < 0.3,
+        "SIFF must starve under an authorized flood above the bottleneck, got {}",
+        siff.summary.completion_fraction
+    );
+}
+
+#[test]
+fn imprecise_policy_damage_is_bounded_under_tva() {
+    let r = run(&ScenarioConfig {
+        scheme: Scheme::Tva,
+        attack: Attack::ImpreciseAllAtOnce,
+        n_attackers: 50,
+        grant: Grant::from_parts(32, 10),
+        attack_start: SimTime::from_secs(15),
+        duration: SimTime::from_secs(45),
+        ..base()
+    });
+    assert!(
+        r.summary.completion_fraction > 0.97,
+        "fraction {}",
+        r.summary.completion_fraction
+    );
+    // The attack is bounded to ~2N per attacker; transfers near the attack
+    // may slow but the overall mean stays near baseline.
+    assert!(r.summary.avg_completion_secs < 1.0, "time {}", r.summary.avg_completion_secs);
+}
+
+#[test]
+fn tva_survives_all_attack_vectors_at_once() {
+    // An extension beyond the paper: 90 attackers split evenly across the
+    // three §5 vectors — legacy flood, request flood, and colluder-
+    // authorized flood — simultaneously. Each defense layer handles its
+    // vector independently, so TVA still completes everything with only
+    // the per-destination-fairness time increase of Figure 10.
+    let r = run(&ScenarioConfig {
+        scheme: Scheme::Tva,
+        attack: Attack::Combined,
+        n_attackers: 90,
+        deny_attackers: true, // fig9's assumption for the request third
+        ..base()
+    });
+    assert!(
+        r.summary.completion_fraction > 0.99,
+        "combined attack fraction {}",
+        r.summary.completion_fraction
+    );
+    assert!(
+        r.summary.avg_completion_secs < 1.0,
+        "combined attack time {}",
+        r.summary.avg_completion_secs
+    );
+
+    let internet = run(&ScenarioConfig {
+        scheme: Scheme::Internet,
+        attack: Attack::Combined,
+        n_attackers: 90,
+        ..base()
+    });
+    assert!(
+        internet.summary.completion_fraction < 0.2,
+        "the Internet must collapse under the combined attack, got {}",
+        internet.summary.completion_fraction
+    );
+}

@@ -1,0 +1,44 @@
+//! Invariant 6: identical seeds produce identical simulations, across the
+//! full stack (scenario harness included); different seeds produce
+//! different microscopic outcomes.
+
+use tva::experiments::{run, Attack, ScenarioConfig, Scheme};
+use tva::sim::SimTime;
+
+fn cfg(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        scheme: Scheme::Tva,
+        attack: Attack::LegacyFlood,
+        n_attackers: 10,
+        n_users: 3,
+        transfers_per_user: 10,
+        duration: SimTime::from_secs(40),
+        seed,
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn same_seed_same_run() {
+    let a = run(&cfg(7));
+    let b = run(&cfg(7));
+    assert_eq!(a.transfers, b.transfers, "transfer-level results must be identical");
+    assert_eq!(a.summary.attempts, b.summary.attempts);
+    assert!((a.summary.avg_completion_secs - b.summary.avg_completion_secs).abs() < 1e-12);
+    assert!((a.bottleneck_drop_rate - b.bottleneck_drop_rate).abs() < 1e-12);
+}
+
+#[test]
+fn different_seed_different_microstate() {
+    // Use the undefended Internet, where attack jitter directly shapes
+    // drop patterns and hence transfer outcomes. (Under TVA the users are
+    // isolated from the flood, so their records can legitimately be
+    // identical across seeds — which is the architecture working.)
+    let mk = |seed| ScenarioConfig { scheme: Scheme::Internet, seed, ..cfg(0) };
+    let a = run(&mk(7));
+    let b = run(&mk(8));
+    assert_ne!(
+        a.transfers, b.transfers,
+        "different seeds should not produce byte-identical runs"
+    );
+}

@@ -1,0 +1,175 @@
+//! §3.2's path-identifier defense in depth, on a two-ingress tree:
+//!
+//! ```text
+//! users ──── edgeU ──┐
+//!                    ├── core ══ 10 Mb/s ══ dest
+//! attackers ─ edgeA ─┘
+//! ```
+//!
+//! * Requests are fair-queued by their most recent tag, so a request flood
+//!   from behind one edge contends in *that edge's* queues, not the users'.
+//! * "an attacker … who writes arbitrary tags can at most cause queue
+//!   contention at the next downstream trust domain": attackers pre-fill
+//!   forged tag entries, but every trust boundary appends its own tag and
+//!   queuing uses the most recent one, so forgery buys nothing beyond the
+//!   attacker's own ingress.
+
+use tva::core::{
+    ClientPolicy, HostConfig, RouterConfig, ServerPolicy, TvaHostShim, TvaRouterNode,
+    TvaScheduler,
+};
+use tva::sim::{DropTail, NodeId, SimDuration, SimTime, Simulator, TopologyBuilder};
+use tva::transport::{summarize, ClientNode, FloodNode, ServerNode, TcpConfig, TOKEN_START};
+use tva::wire::{
+    Addr, CapHeader, CapPayload, CapValue, Grant, Packet, PacketId, PathId, RequestEntry,
+};
+
+const DEST: Addr = Addr::new(10, 0, 0, 1);
+
+/// Builds the tree; `forge_tags` controls whether attackers pre-fill bogus
+/// path-identifier entries in their request floods.
+fn build(n_attackers: usize, forge_tags: bool) -> (Simulator, Vec<NodeId>, Vec<NodeId>) {
+    let cfg_eu = RouterConfig { secret_seed: 1, request_fraction: 0.01, ..Default::default() };
+    let cfg_ea = RouterConfig { secret_seed: 2, request_fraction: 0.01, ..Default::default() };
+    let cfg_core = RouterConfig { secret_seed: 3, request_fraction: 0.01, ..Default::default() };
+
+    let mut t = TopologyBuilder::new();
+    let edge_u = t.add_node(Box::new(TvaRouterNode::new(cfg_eu.clone(), 100_000_000)));
+    let edge_a = t.add_node(Box::new(TvaRouterNode::new(cfg_ea.clone(), 100_000_000)));
+    let core = t.add_node(Box::new(TvaRouterNode::new(cfg_core.clone(), 10_000_000)));
+    let server = t.add_node(Box::new(ServerNode::new(
+        DEST,
+        TcpConfig::default(),
+        Box::new(TvaHostShim::new(
+            DEST,
+            HostConfig::default(),
+            Box::new(ServerPolicy::new(
+                Grant::from_parts(100, 10),
+                SimDuration::from_secs(30),
+            )),
+        )),
+    )));
+    t.bind_addr(server, DEST);
+
+    let d = SimDuration::from_millis(5);
+    let host_q = || Box::new(DropTail::new(1 << 20));
+    t.link(
+        edge_u,
+        core,
+        100_000_000,
+        d,
+        Box::new(TvaScheduler::new(100_000_000, &cfg_eu)),
+        Box::new(TvaScheduler::new(100_000_000, &cfg_core)),
+    );
+    t.link(
+        edge_a,
+        core,
+        100_000_000,
+        d,
+        Box::new(TvaScheduler::new(100_000_000, &cfg_ea)),
+        Box::new(TvaScheduler::new(100_000_000, &cfg_core)),
+    );
+    // The bottleneck: core → dest.
+    t.link(
+        core,
+        server,
+        10_000_000,
+        d,
+        Box::new(TvaScheduler::new(10_000_000, &cfg_core)),
+        host_q(),
+    );
+
+    let mut users = Vec::new();
+    for i in 0..10 {
+        let addr = Addr::new(20, 0, 0, i as u8 + 1);
+        let c = t.add_node(Box::new(ClientNode::new(
+            addr,
+            DEST,
+            20 * 1024,
+            2000,
+            TcpConfig::default(),
+            Box::new(TvaHostShim::new(
+                addr,
+                HostConfig::default(),
+                Box::new(ClientPolicy { grant: Grant::from_parts(100, 10) }),
+            )),
+        )));
+        t.bind_addr(c, addr);
+        t.link(c, edge_u, 100_000_000, d, host_q(), Box::new(TvaScheduler::new(100_000_000, &cfg_eu)));
+        users.push(c);
+    }
+
+    let mut attackers = Vec::new();
+    for i in 0..n_attackers {
+        let addr = Addr::new(66, 0, 0, i as u8 + 1);
+        let forged = forge_tags;
+        let a = t.add_node(Box::new(FloodNode::new(
+            1_000_000,
+            Box::new(move |_now, seq| {
+                let mut h = CapHeader::request();
+                if forged {
+                    // Pre-fill bogus tag entries, cycling tag values to try
+                    // to smear across queues downstream.
+                    if let CapPayload::Request { entries } = &mut h.payload {
+                        entries.push(RequestEntry {
+                            path_id: PathId((seq % 65_535 + 1) as u16),
+                            precap: CapValue::new(0, seq),
+                        });
+                    }
+                }
+                Some(Packet {
+                    id: PacketId(0),
+                    src: addr,
+                    dst: DEST,
+                    cap: Some(h),
+                    tcp: None,
+                    payload_len: 960,
+                })
+            }),
+        )));
+        t.bind_addr(a, addr);
+        t.link(a, edge_a, 100_000_000, d, host_q(), Box::new(TvaScheduler::new(100_000_000, &cfg_ea)));
+        attackers.push(a);
+    }
+    (t.build(23), users, attackers)
+}
+
+fn run(n_attackers: usize, forge: bool) -> tva::transport::TransferSummary {
+    let (mut sim, users, attackers) = build(n_attackers, forge);
+    for &u in &users {
+        sim.kick(u, TOKEN_START);
+    }
+    for &a in &attackers {
+        sim.kick(a, 0);
+    }
+    sim.run_until(SimTime::from_secs(60));
+    let mut all = Vec::new();
+    for &u in &users {
+        all.extend(
+            sim.node::<ClientNode>(u)
+                .records
+                .iter()
+                .filter(|r| r.started >= SimTime::from_secs(10))
+                .copied(),
+        );
+    }
+    summarize(&all)
+}
+
+#[test]
+fn request_floods_from_another_ingress_cannot_block_users() {
+    let s = run(50, false);
+    assert!(s.attempts > 200, "users should stay busy, got {}", s.attempts);
+    assert!(s.completion_fraction > 0.99, "fraction {}", s.completion_fraction);
+    assert!(s.avg_completion_secs < 0.5, "time {}", s.avg_completion_secs);
+}
+
+#[test]
+fn forged_path_identifiers_buy_the_attacker_nothing_downstream() {
+    // Forged tags are superseded by the attacker's own trust boundary: the
+    // most recent tag is edgeA's, so at the core the flood still occupies
+    // edgeA's queue, and users behind edgeU are untouched.
+    let s = run(50, true);
+    assert!(s.completion_fraction > 0.99, "fraction {}", s.completion_fraction);
+    assert!(s.avg_completion_secs < 0.5, "time {}", s.avg_completion_secs);
+}
