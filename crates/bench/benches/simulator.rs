@@ -2,91 +2,17 @@
 //! dumbbell with TVA routers — the cost basis of every figure's runtime.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use tva_core::{ClientPolicy, HostConfig, RouterConfig, ServerPolicy, TvaHostShim, TvaRouterNode, TvaScheduler};
-use tva_sim::{DropTail, SimDuration, SimTime, TopologyBuilder};
-use tva_transport::{ClientNode, ServerNode, TcpConfig, TOKEN_START};
-use tva_wire::{Addr, Grant};
-
-const SERVER: Addr = Addr::new(10, 0, 0, 1);
-
-/// Builds a 5-user TVA dumbbell and runs `sim_secs` of simulated time,
-/// returning the number of packets the bottleneck carried.
-fn run_dumbbell(sim_secs: u64) -> u64 {
-    let cfg1 = RouterConfig { secret_seed: 1, ..Default::default() };
-    let cfg2 = RouterConfig { secret_seed: 2, ..Default::default() };
-    let mut t = TopologyBuilder::new();
-    let r1 = t.add_node(Box::new(TvaRouterNode::new(cfg1.clone(), 10_000_000)));
-    let r2 = t.add_node(Box::new(TvaRouterNode::new(cfg2.clone(), 10_000_000)));
-    let server = t.add_node(Box::new(ServerNode::new(
-        SERVER,
-        TcpConfig::default(),
-        Box::new(TvaHostShim::new(
-            SERVER,
-            HostConfig::default(),
-            Box::new(ServerPolicy::new(Grant::from_parts(100, 10), SimDuration::from_secs(30))),
-        )),
-    )));
-    t.bind_addr(server, SERVER);
-    let d = SimDuration::from_millis(10);
-    let link = t.link(
-        r1,
-        r2,
-        10_000_000,
-        d,
-        Box::new(TvaScheduler::new(10_000_000, &cfg1)),
-        Box::new(TvaScheduler::new(10_000_000, &cfg2)),
-    );
-    t.link(
-        r2,
-        server,
-        100_000_000,
-        d,
-        Box::new(TvaScheduler::new(100_000_000, &cfg2)),
-        Box::new(DropTail::new(1 << 20)),
-    );
-    let mut clients = Vec::new();
-    for i in 0..5 {
-        let addr = Addr::new(20, 0, 0, i + 1);
-        let c = t.add_node(Box::new(ClientNode::new(
-            addr,
-            SERVER,
-            20 * 1024,
-            100_000,
-            TcpConfig::default(),
-            Box::new(TvaHostShim::new(
-                addr,
-                HostConfig::default(),
-                Box::new(ClientPolicy { grant: Grant::from_parts(100, 10) }),
-            )),
-        )));
-        t.bind_addr(c, addr);
-        t.link(
-            c,
-            r1,
-            100_000_000,
-            d,
-            Box::new(DropTail::new(1 << 20)),
-            Box::new(TvaScheduler::new(100_000_000, &cfg1)),
-        );
-        clients.push(c);
-    }
-    let mut sim = t.build(3);
-    for &c in &clients {
-        sim.kick(c, TOKEN_START);
-    }
-    sim.run_until(SimTime::from_secs(sim_secs));
-    sim.channel(link.ab).stats.tx_pkts
-}
+use tva_bench::dumbbell::run_dumbbell;
 
 fn bench_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
     group.sample_size(10);
     // How many bottleneck packets 10 simulated seconds carries, for the
     // throughput denominator.
-    let pkts = run_dumbbell(10);
+    let pkts = run_dumbbell(10).bottleneck_tx_pkts;
     group.throughput(Throughput::Elements(pkts));
     group.bench_function("tva_dumbbell_10s", |b| {
-        b.iter(|| std::hint::black_box(run_dumbbell(10)))
+        b.iter(|| std::hint::black_box(run_dumbbell(10).bottleneck_tx_pkts))
     });
     group.finish();
 }

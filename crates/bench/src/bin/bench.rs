@@ -1,0 +1,132 @@
+//! End-to-end simulator benchmark with a tracked baseline.
+//!
+//! Measures two things and records them in `BENCH_sim.json`:
+//!
+//! * **engine throughput** — events/sec dispatching a 200-simulated-second
+//!   5-user TVA dumbbell (best of three runs), and
+//! * **figure wall time** — seconds to run the Figure 8 quick sweep grid
+//!   (the per-figure scenario cost every reproduction pays).
+//!
+//! If `BENCH_sim.json` already exists the new numbers are gated against it:
+//! a >10% drop in events/sec or a >10% rise in fig8 wall time refuses to
+//! overwrite the baseline and exits non-zero unless `--force` is given.
+//! `scripts/bench.sh` wraps this binary.
+//!
+//! Flags: `--force` (accept a regression), `--engine-only` (skip the fig8
+//! sweep), `--out PATH` (baseline location, default `BENCH_sim.json`).
+
+use std::time::Instant;
+
+use serde_json::{Map, Value};
+use tva_bench::dumbbell::run_dumbbell;
+use tva_experiments::{fig8, run_all, Fidelity};
+
+/// Fractional change beyond which the gate refuses without `--force`.
+const GATE: f64 = 0.10;
+const ENGINE_SIM_SECS: u64 = 200;
+const ENGINE_REPS: usize = 3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let force = args.iter().any(|a| a == "--force");
+    let engine_only = args.iter().any(|a| a == "--engine-only");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+
+    eprintln!("engine: {ENGINE_REPS}x {ENGINE_SIM_SECS}s dumbbell ...");
+    let mut events = 0u64;
+    let mut best_wall = f64::INFINITY;
+    for rep in 0..ENGINE_REPS {
+        let t0 = Instant::now();
+        let run = run_dumbbell(ENGINE_SIM_SECS);
+        let wall = t0.elapsed().as_secs_f64();
+        eprintln!("  run {}: {} events in {wall:.3}s", rep + 1, run.events);
+        events = run.events;
+        best_wall = best_wall.min(wall);
+    }
+    let events_per_sec = events as f64 / best_wall;
+    eprintln!("engine: {events_per_sec:.0} events/sec (best of {ENGINE_REPS})");
+
+    let (fig8_runs, fig8_wall) = if engine_only {
+        (0usize, None)
+    } else {
+        let configs = fig8(Fidelity::Quick);
+        let n = configs.len();
+        eprintln!("fig8 quick sweep: {n} scenarios ...");
+        let t0 = Instant::now();
+        let results = run_all(configs);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(results.len(), n, "sweep must complete every scenario");
+        eprintln!("fig8 quick sweep: {wall:.3}s");
+        (n, Some(wall))
+    };
+
+    let mut kept_fig8 = None;
+    if let Ok(old) = std::fs::read_to_string(&out) {
+        if engine_only {
+            // Carry the fig8 baseline forward so an engine-only run
+            // doesn't erase it.
+            kept_fig8 = metric(&old, "fig8_runs").zip(metric(&old, "fig8_wall_s"));
+        }
+        let mut regressions = Vec::new();
+        if let Some(old_eps) = metric(&old, "engine_events_per_sec") {
+            if events_per_sec < old_eps * (1.0 - GATE) {
+                regressions.push(format!(
+                    "engine events/sec: {old_eps:.0} -> {events_per_sec:.0} \
+                     ({:+.1}%)",
+                    (events_per_sec / old_eps - 1.0) * 100.0
+                ));
+            }
+        }
+        if let (Some(old_wall), Some(new_wall)) = (metric(&old, "fig8_wall_s"), fig8_wall) {
+            if new_wall > old_wall * (1.0 + GATE) {
+                regressions.push(format!(
+                    "fig8 wall: {old_wall:.1}s -> {new_wall:.1}s ({:+.1}%)",
+                    (new_wall / old_wall - 1.0) * 100.0
+                ));
+            }
+        }
+        if !regressions.is_empty() {
+            for r in &regressions {
+                eprintln!("REGRESSION >{:.0}%: {r}", GATE * 100.0);
+            }
+            if !force {
+                eprintln!("refusing to update {out}; rerun with --force to accept");
+                std::process::exit(1);
+            }
+            eprintln!("--force given: accepting regression");
+        }
+    }
+
+    let mut map = Map::new();
+    map.insert("engine_events".into(), Value::Number(events as f64));
+    map.insert("engine_events_per_sec".into(), Value::Number(events_per_sec.round()));
+    map.insert("engine_sim_secs".into(), Value::Number(ENGINE_SIM_SECS as f64));
+    map.insert("engine_wall_s".into(), Value::Number((best_wall * 1000.0).round() / 1000.0));
+    if let Some(wall) = fig8_wall {
+        map.insert("fig8_runs".into(), Value::Number(fig8_runs as f64));
+        map.insert("fig8_wall_s".into(), Value::Number((wall * 1000.0).round() / 1000.0));
+    } else if let Some((runs, wall)) = kept_fig8 {
+        map.insert("fig8_runs".into(), Value::Number(runs));
+        map.insert("fig8_wall_s".into(), Value::Number(wall));
+    }
+    let json = serde_json::to_string_pretty(&Value::Object(map)).expect("serializable");
+    std::fs::write(&out, json + "\n").expect("write baseline");
+    println!("wrote {out}");
+}
+
+/// Extracts `"key": <number>` from a flat JSON object without a parser
+/// dependency (the vendored serde_json only serializes).
+fn metric(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dumbbell;
+
 use tva_core::{capability, RouterConfig, TvaRouter, Verdict};
 use tva_sim::{ChannelId, SimTime};
 use tva_wire::{Addr, CapHeader, CapValue, FlowNonce, Grant, Packet, PacketId};

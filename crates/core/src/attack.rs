@@ -151,7 +151,7 @@ impl AuthorizedFlooder {
                 ctx.send(pkt);
                 // Unanswered so far: back off.
                 self.request_interval =
-                    self.request_interval.mul(2).min(SimDuration::from_secs(60));
+                    (self.request_interval * 2).min(SimDuration::from_secs(60));
             }
             self.arm(ctx, self.request_interval);
         }

@@ -16,10 +16,10 @@
 //! legitimate fast flow needs one — attackers cannot exhaust the memory
 //! (invariant 2 of DESIGN.md).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use tva_sim::{SimDuration, SimTime};
-use tva_wire::{CapValue, FlowKey, FlowNonce, Grant};
+use tva_wire::{CapValue, DetHashMap, FlowKey, FlowNonce, Grant};
 
 /// One cached flow (§4.3: "the valid capability, the flow nonce, the
 /// authorized bytes to send (N), the valid time (T), and the ttl and byte
@@ -48,8 +48,16 @@ pub enum Charge {
 }
 
 /// The bounded flow cache.
+///
+/// `entries` uses the seeded deterministic hasher ([`DetHashMap`]): the
+/// packet fast path hashes a [`FlowKey`] per lookup, and SipHash with a
+/// random per-process seed is both slower and a determinism hazard.
+/// Reclaim never scans `entries` — the victim comes from `by_expiry`
+/// (a `BTreeSet` ordered by `(expiry, key)`), so no behavior depends on
+/// hash iteration order; the fixed seed makes that non-dependence hold by
+/// construction in every process.
 pub struct FlowTable {
-    entries: HashMap<FlowKey, FlowEntry>,
+    entries: DetHashMap<FlowKey, FlowEntry>,
     /// Reclaim index ordered by ttl expiry (time, key).
     by_expiry: BTreeSet<(SimTime, FlowKey)>,
     max_entries: usize,
@@ -64,7 +72,7 @@ impl FlowTable {
     pub fn new(max_entries: usize) -> Self {
         assert!(max_entries > 0);
         FlowTable {
-            entries: HashMap::new(),
+            entries: DetHashMap::default(),
             by_expiry: BTreeSet::new(),
             max_entries,
             reclaims: 0,

@@ -16,11 +16,10 @@
 //! pipeline has written into the capability header.
 
 use std::any::Any;
-use std::collections::HashMap;
 
 use tva_crypto::{siphash24, SecretSchedule, SipKey};
 use tva_sim::{ChannelId, Ctx, Node, SimTime};
-use tva_wire::{CapPayload, Packet, PathId, RequestEntry};
+use tva_wire::{CapPayload, DetHashMap, Packet, PathId, RequestEntry};
 
 use crate::capability::{expired, mint_precap, validate_cap};
 use crate::config::RouterConfig;
@@ -75,8 +74,11 @@ pub struct TvaRouter {
     cfg: RouterConfig,
     schedule: SecretSchedule,
     table: FlowTable,
-    /// Cached path-identifier tags per ingress interface.
-    tags: HashMap<ChannelId, PathId>,
+    /// Cached path-identifier tags per ingress interface. Tag *values* come
+    /// from [`siphash24`] over the interface id (stable by construction);
+    /// the deterministic map seed only makes the cache itself cheap and
+    /// process-independent.
+    tags: DetHashMap<ChannelId, PathId>,
     /// Counters.
     pub stats: RouterStats,
 }
@@ -87,7 +89,13 @@ impl TvaRouter {
     pub fn new(cfg: RouterConfig, link_bps: u64) -> Self {
         let bound = cfg.flow_table_bound(link_bps);
         let schedule = SecretSchedule::from_seed(cfg.secret_seed);
-        TvaRouter { cfg, schedule, table: FlowTable::new(bound), tags: HashMap::new(), stats: RouterStats::default() }
+        TvaRouter {
+            cfg,
+            schedule,
+            table: FlowTable::new(bound),
+            tags: DetHashMap::default(),
+            stats: RouterStats::default(),
+        }
     }
 
     /// The path-identifier tag for an ingress interface: a pseudo-random

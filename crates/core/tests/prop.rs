@@ -83,7 +83,7 @@ proptest! {
                     ) {
                         req_bytes += len;
                     }
-                    t = t + SimDuration::transmission(p.wire_len(), link_bps);
+                    t += SimDuration::transmission(p.wire_len(), link_bps);
                 }
                 None => match s.next_ready(t) {
                     Some(w) if w > t => t = w,

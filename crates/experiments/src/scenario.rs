@@ -372,8 +372,7 @@ impl<'a> Builder<'a> {
     fn attach_host(&mut self, node: NodeId, addr: Addr, via: NodeId) -> LinkHandle {
         self.topo.bind_addr(node, addr);
         let q_router = self.router_queue(via, ACCESS_BPS);
-        let link = self.topo.link(node, via, ACCESS_BPS, LINK_DELAY, self.host_queue(), q_router);
-        link
+        self.topo.link(node, via, ACCESS_BPS, LINK_DELAY, self.host_queue(), q_router)
     }
 
     fn add_attackers(&mut self) {
@@ -383,27 +382,24 @@ impl<'a> Builder<'a> {
             let addr = attacker_addr(i);
             let node: NodeId = match cfg.attack {
                 Attack::None => break,
-                Attack::LegacyFlood => {
-                    let n = self.topo.add_node(Box::new(FloodNode::new(
-                        cfg.attacker_rate_bps,
-                        Box::new(move |_now, _seq| {
-                            Some(Packet {
-                                id: PacketId(0),
-                                src: addr,
-                                dst: DEST,
-                                cap: None,
-                                tcp: None,
-                                payload_len: 980,
-                            })
-                        }),
-                    )));
-                    n
-                }
+                Attack::LegacyFlood => self.topo.add_node(Box::new(FloodNode::new(
+                    cfg.attacker_rate_bps,
+                    Box::new(move |_now, _seq| {
+                        Some(Packet {
+                            id: PacketId(0),
+                            src: addr,
+                            dst: DEST,
+                            cap: None,
+                            tcp: None,
+                            payload_len: 980,
+                        })
+                    }),
+                ))),
                 Attack::RequestFlood => {
                     // Request packets padded toward 1000 B so the byte rate
                     // matches the paper's 1 Mb/s without inflating the
                     // event count (documented in EXPERIMENTS.md).
-                    let n = self.topo.add_node(Box::new(FloodNode::new(
+                    self.topo.add_node(Box::new(FloodNode::new(
                         cfg.attacker_rate_bps,
                         Box::new(move |_now, _seq| {
                             Some(Packet {
@@ -415,8 +411,7 @@ impl<'a> Builder<'a> {
                                 payload_len: 960,
                             })
                         }),
-                    )));
-                    n
+                    )))
                 }
                 Attack::AuthorizedColluder => {
                     let flooder = self.authorized_flooder(addr, COLLUDER, None);

@@ -7,14 +7,18 @@
 //! manufacturing keys. DRR gives each backlogged key an equal byte share
 //! (within one quantum) at O(1) work per packet.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::hash::Hash;
 
-use tva_wire::Packet;
+use tva_wire::{DetHashMap, Packet};
 
 /// A DRR scheduler over queues keyed by `K`.
+///
+/// The key table uses the seeded deterministic hasher: service order is
+/// decided by the `active` ring (never by map iteration), and the fixed
+/// seed keeps the hot-path hashing cheap and process-independent.
 pub struct Drr<K: Hash + Eq + Clone> {
-    queues: HashMap<K, SubQueue>,
+    queues: DetHashMap<K, SubQueue>,
     /// Round-robin order of backlogged keys.
     active: VecDeque<K>,
     quantum: u32,
@@ -45,7 +49,7 @@ impl<K: Hash + Eq + Clone> Drr<K> {
     pub fn new(quantum: u32, per_queue_cap: u64, max_queues: usize) -> Self {
         assert!(quantum > 0, "quantum must be positive");
         Drr {
-            queues: HashMap::new(),
+            queues: DetHashMap::default(),
             active: VecDeque::new(),
             quantum,
             per_queue_cap,

@@ -1,11 +1,10 @@
 //! The simulation engine: channels, routing, and the event dispatch loop.
 
-use std::collections::HashMap;
-
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::event::{ChannelId, EventKind, EventQueue, NodeId};
+use crate::intern::AddrInterner;
 use crate::node::{Ctx, Node};
 use crate::queue::QueueDisc;
 use crate::stats::ChannelStats;
@@ -32,16 +31,33 @@ pub struct Channel {
     pub stats: ChannelStats,
 }
 
-/// Per-node routing state: exact-match table plus an optional default route.
+/// Per-node routing state: a dense next-hop array indexed by interned
+/// address index, plus an optional default route. Entries matching the
+/// default route are pruned at build time, so stub hosts carry an empty
+/// array and routers carry at most one slot per bound address.
 #[derive(Default)]
 pub(crate) struct RouteTable {
-    pub table: HashMap<Addr, ChannelId>,
+    /// `next_hop[i]` is the egress for the address interned at index `i`.
+    pub next_hop: Vec<Option<ChannelId>>,
     pub default: Option<ChannelId>,
 }
 
 impl RouteTable {
-    fn lookup(&self, dst: Addr) -> Option<ChannelId> {
-        self.table.get(&dst).copied().or(self.default)
+    /// Installs an exact route for interned address index `idx`.
+    pub fn insert(&mut self, idx: u32, ch: ChannelId) {
+        let i = idx as usize;
+        if self.next_hop.len() <= i {
+            self.next_hop.resize(i + 1, None);
+        }
+        self.next_hop[i] = Some(ch);
+    }
+
+    /// Resolves an interned destination (`None` = address never bound) to
+    /// an egress channel, falling back to the default route.
+    #[inline]
+    fn lookup(&self, idx: Option<u32>) -> Option<ChannelId> {
+        idx.and_then(|i| self.next_hop.get(i as usize).copied().flatten())
+            .or(self.default)
     }
 }
 
@@ -51,26 +67,34 @@ pub(crate) struct Core {
     pub events: EventQueue,
     pub channels: Vec<Channel>,
     pub routes: Vec<RouteTable>,
+    /// Destination-address index assigned at topology build.
+    pub interner: AddrInterner,
     pub rng: SmallRng,
     pub next_packet_id: u64,
     /// Packets discarded because a node had no route.
     pub unrouted: u64,
+    /// Events dispatched by [`Simulator::run_until`] over the simulation's
+    /// lifetime — the denominator of the engine throughput benchmark.
+    pub events_dispatched: u64,
     pub tracer: Option<Tracer>,
 }
 
 impl Core {
+    /// Emits a trace event from fields the caller copied out *before* the
+    /// packet's ownership moved (into a queue or onto the wire) — no
+    /// packet clone on the trace path.
     #[inline]
-    fn trace(&mut self, kind: TraceKind, ch: ChannelId, pkt: &Packet) {
+    fn trace_fields(
+        &mut self,
+        kind: TraceKind,
+        ch: ChannelId,
+        id: PacketId,
+        src: Addr,
+        dst: Addr,
+        wire_len: u32,
+    ) {
         if let Some(t) = self.tracer.as_mut() {
-            t(&TraceEvent {
-                time: self.now,
-                kind,
-                channel: ch,
-                id: pkt.id,
-                src: pkt.src,
-                dst: pkt.dst,
-                wire_len: pkt.wire_len(),
-            });
+            t(&TraceEvent { time: self.now, kind, channel: ch, id, src, dst, wire_len });
         }
     }
 }
@@ -78,34 +102,22 @@ impl Core {
 impl Core {
     /// Offers a packet to a channel's queue and kicks the transmitter.
     fn offer(&mut self, ch: ChannelId, pkt: Packet) -> bool {
-        if self.tracer.is_some() {
-            // Trace before ownership moves; the verdict event follows.
-            let snapshot = pkt.clone();
-            let c = &mut self.channels[ch.0];
-            let len = snapshot.wire_len() as u64;
-            if c.queue.enqueue(pkt, self.now).is_accepted() {
-                c.stats.enqueued_pkts += 1;
-                self.trace(TraceKind::Enqueued, ch, &snapshot);
-                self.try_start(ch);
-                true
-            } else {
-                c.stats.dropped_pkts += 1;
-                c.stats.dropped_bytes += len;
-                self.trace(TraceKind::Dropped, ch, &snapshot);
-                false
-            }
+        // Copy the identifying fields out first: the packet moves into the
+        // queue before the trace event is emitted.
+        let (id, src, dst) = (pkt.id, pkt.src, pkt.dst);
+        let wire_len = pkt.wire_len();
+        let c = &mut self.channels[ch.0];
+        if c.queue.enqueue(pkt, self.now).is_accepted() {
+            c.stats.enqueued_pkts += 1;
+            c.stats.enqueued_bytes += wire_len as u64;
+            self.trace_fields(TraceKind::Enqueued, ch, id, src, dst, wire_len);
+            self.try_start(ch);
+            true
         } else {
-            let c = &mut self.channels[ch.0];
-            let len = pkt.wire_len() as u64;
-            if c.queue.enqueue(pkt, self.now).is_accepted() {
-                c.stats.enqueued_pkts += 1;
-                self.try_start(ch);
-                true
-            } else {
-                c.stats.dropped_pkts += 1;
-                c.stats.dropped_bytes += len;
-                false
-            }
+            c.stats.dropped_pkts += 1;
+            c.stats.dropped_bytes += wire_len as u64;
+            self.trace_fields(TraceKind::Dropped, ch, id, src, dst, wire_len);
+            false
         }
     }
 
@@ -118,18 +130,16 @@ impl Core {
         }
         match c.queue.dequeue(now) {
             Some(pkt) => {
-                let tx = SimDuration::transmission(pkt.wire_len(), c.bandwidth_bps);
+                let (id, src, dst) = (pkt.id, pkt.src, pkt.dst);
+                let wire_len = pkt.wire_len();
+                let tx = SimDuration::transmission(wire_len, c.bandwidth_bps);
                 c.stats.tx_pkts += 1;
-                c.stats.tx_bytes += pkt.wire_len() as u64;
+                c.stats.tx_bytes += wire_len as u64;
                 c.busy = true;
                 c.in_flight = Some(pkt);
                 c.wake_at = None;
                 self.events.push(now + tx, EventKind::TxComplete { channel: ch });
-                if self.tracer.is_some() {
-                    let snapshot =
-                        self.channels[ch.0].in_flight.clone().expect("just set");
-                    self.trace(TraceKind::TxStart, ch, &snapshot);
-                }
+                self.trace_fields(TraceKind::TxStart, ch, id, src, dst, wire_len);
             }
             None => {
                 // Nothing eligible now; if the discipline is holding packets
@@ -179,7 +189,8 @@ impl Ctx for EngineCtx<'_> {
     }
 
     fn send(&mut self, pkt: Packet) -> bool {
-        match self.core.routes[self.node.0].lookup(pkt.dst) {
+        let idx = self.core.interner.get(pkt.dst);
+        match self.core.routes[self.node.0].lookup(idx) {
             Some(ch) => self.core.offer(ch, pkt),
             None => {
                 self.core.unrouted += 1;
@@ -198,7 +209,7 @@ impl Ctx for EngineCtx<'_> {
     }
 
     fn route(&self, dst: Addr) -> Option<ChannelId> {
-        self.core.routes[self.node.0].lookup(dst)
+        self.core.routes[self.node.0].lookup(self.core.interner.get(dst))
     }
 
     fn channel_stats(&self, ch: ChannelId) -> ChannelStats {
@@ -228,6 +239,7 @@ impl Simulator {
         nodes: Vec<Box<dyn Node>>,
         channels: Vec<Channel>,
         routes: Vec<RouteTable>,
+        interner: AddrInterner,
         seed: u64,
     ) -> Self {
         Simulator {
@@ -236,9 +248,11 @@ impl Simulator {
                 events: EventQueue::new(),
                 channels,
                 routes,
+                interner,
                 rng: SmallRng::seed_from_u64(seed),
                 next_packet_id: 0,
                 unrouted: 0,
+                events_dispatched: 0,
                 tracer: None,
             },
             nodes,
@@ -259,9 +273,21 @@ impl Simulator {
             }
             let ev = self.core.events.pop().expect("peeked event exists");
             self.core.now = ev.time;
+            self.core.events_dispatched += 1;
             match ev.kind {
                 EventKind::Arrival { node, from, packet } => {
-                    self.core.trace(crate::trace::TraceKind::Delivered, from, &packet);
+                    if self.core.tracer.is_some() {
+                        let (id, src, dst) = (packet.id, packet.src, packet.dst);
+                        let wire_len = packet.wire_len();
+                        self.core.trace_fields(
+                            crate::trace::TraceKind::Delivered,
+                            from,
+                            id,
+                            src,
+                            dst,
+                            wire_len,
+                        );
+                    }
                     let mut ctx = EngineCtx { core: &mut self.core, node };
                     self.nodes[node.0].on_packet(packet, from, &mut ctx);
                 }
@@ -331,5 +357,11 @@ impl Simulator {
     /// Number of pending events (diagnostics).
     pub fn pending_events(&self) -> usize {
         self.core.events.len()
+    }
+
+    /// Total events dispatched by [`Simulator::run_until`] so far — the
+    /// denominator for engine-throughput (events/sec) measurements.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_dispatched
     }
 }

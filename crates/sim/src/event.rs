@@ -1,11 +1,20 @@
-//! The event queue: a binary heap with a stable tiebreak.
+//! The event queue: a 4-ary implicit min-heap over a payload slab, with a
+//! stable tiebreak.
 //!
 //! Events at equal times fire in insertion order (a monotonic sequence number
 //! breaks ties), which makes every simulation fully deterministic for a given
-//! seed — invariant 6 of DESIGN.md.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! seed — invariant 6 of DESIGN.md. The total order is exactly `(time, seq)`
+//! ascending, nothing else; see DESIGN.md "Hot path".
+//!
+//! Layout: the heap itself holds only 24-byte `(time, seq, slot)` entries;
+//! the [`EventKind`] payloads (which embed whole packets) live in a slab
+//! indexed by `slot` and never move while queued. That beats
+//! `std::collections::BinaryHeap<Event>` two ways: sift operations copy
+//! small `Copy` keys instead of shuffling ~packet-sized events at every
+//! level, and the 4-ary shape halves the tree depth while keeping each
+//! node's four children on one or two cache lines for the child-minimum
+//! scan. Freed slab slots are recycled through a free list, so the steady
+//! state allocates nothing per event.
 
 use crate::time::SimTime;
 use tva_wire::Packet;
@@ -52,33 +61,36 @@ pub enum EventKind {
 
 pub(crate) struct Event {
     pub time: SimTime,
-    pub seq: u64,
     pub kind: EventKind,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
+/// A heap entry: the ordering key plus the slab slot holding the payload.
+#[derive(Clone, Copy)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
 }
-impl Eq for Event {}
 
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+impl Entry {
+    /// The heap key: earliest time first, insertion order within a time.
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
+
+/// Children of heap slot `i` live at `4i + 1 ..= 4i + 4`; its parent at
+/// `(i - 1) / 4`.
+const ARITY: usize = 4;
 
 /// The priority queue of pending events.
 #[derive(Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Event>,
+    heap: Vec<Entry>,
+    /// Payload slab; `None` slots are on the free list.
+    kinds: Vec<Option<EventKind>>,
+    free: Vec<u32>,
     next_seq: u64,
 }
 
@@ -90,20 +102,80 @@ impl EventQueue {
     pub fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.kinds[s as usize] = Some(kind);
+                s
+            }
+            None => {
+                self.kinds.push(Some(kind));
+                (self.kinds.len() - 1) as u32
+            }
+        };
+        self.heap.push(Entry { time, seq, slot });
+        self.sift_up(self.heap.len() - 1);
     }
 
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        let kind = self.kinds[top.slot as usize].take().expect("queued slot is occupied");
+        self.free.push(top.slot);
+        Some(Event { time: top.time, kind })
     }
 
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.first().map(|e| e.time)
     }
 
     pub fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let e = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if e.key() < self.heap[parent].key() {
+                self.heap[i] = self.heap[parent];
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = e;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let e = self.heap[i];
+        let n = self.heap.len();
+        loop {
+            let first = i * ARITY + 1;
+            if first >= n {
+                break;
+            }
+            let mut best = first;
+            let mut best_key = self.heap[first].key();
+            for c in first + 1..(first + ARITY).min(n) {
+                let k = self.heap[c].key();
+                if k < best_key {
+                    best = c;
+                    best_key = k;
+                }
+            }
+            if best_key < e.key() {
+                self.heap[i] = self.heap[best];
+                i = best;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = e;
     }
 }
 
@@ -115,19 +187,22 @@ mod tests {
         EventKind::Timer { node: NodeId(node), token }
     }
 
+    fn drain_tokens(q: &mut EventQueue) -> Vec<u64> {
+        std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
         q.push(SimTime::from_secs(3), timer(0, 3));
         q.push(SimTime::from_secs(1), timer(0, 1));
         q.push(SimTime::from_secs(2), timer(0, 2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(drain_tokens(&mut q), vec![1, 2, 3]);
     }
 
     #[test]
@@ -137,12 +212,74 @@ mod tests {
         for i in 0..100 {
             q.push(t, timer(0, i));
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { token, .. } => token,
+        assert_eq!(drain_tokens(&mut q), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn heap_orders_across_all_arity_shapes() {
+        // Sizes straddling 4-ary level boundaries (1+4, 1+4+16, ...).
+        for n in [1u64, 4, 5, 6, 20, 21, 22, 85, 86, 100, 341] {
+            let mut q = EventQueue::new();
+            // Insert times in a scrambled but deterministic order.
+            for i in 0..n {
+                let t = (i * 7919) % n; // permutation when gcd(7919, n) == 1
+                q.push(SimTime::from_nanos(t * 1_000_000), timer(0, t));
+            }
+            let out = drain_tokens(&mut q);
+            let mut expect = out.clone();
+            expect.sort();
+            assert_eq!(out, expect, "n={n}");
+        }
+    }
+
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        /// Under arbitrary interleavings of pushes and pops, every pop must
+        /// return exactly the minimum `(time, seq)` element currently
+        /// queued — checked against a `BTreeSet` reference model. Tokens
+        /// are assigned in push order, so they must equal the internal
+        /// sequence numbers.
+        #[test]
+        fn prop_pops_min_time_seq_under_interleaving(
+            ops in proptest::collection::vec((0u64..40, any::<bool>()), 1..400),
+        ) {
+            let mut q = EventQueue::new();
+            let mut model: BTreeSet<(SimTime, u64)> = BTreeSet::new();
+            let mut next_token = 0u64;
+            let read = |e: Event| match e.kind {
+                EventKind::Timer { token, .. } => (e.time, token),
                 _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+            };
+            for &(t, is_pop) in &ops {
+                if is_pop {
+                    prop_assert_eq!(q.pop().map(read), model.pop_first());
+                } else {
+                    let time = SimTime::from_nanos(t * 1_000_000);
+                    q.push(time, timer(0, next_token));
+                    model.insert((time, next_token));
+                    next_token += 1;
+                }
+            }
+            while let Some(e) = q.pop() {
+                prop_assert_eq!(Some(read(e)), model.pop_first());
+            }
+            prop_assert_eq!(q.len(), 0);
+            prop_assert!(model.is_empty());
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), timer(0, 50));
+        q.push(SimTime::from_secs(1), timer(0, 10));
+        assert_eq!(q.pop().unwrap().time, SimTime::from_secs(1));
+        q.push(SimTime::from_secs(2), timer(0, 20));
+        q.push(SimTime::from_secs(5), timer(0, 51)); // same time as first
+        assert_eq!(drain_tokens(&mut q), vec![20, 50, 51]);
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
     }
 }

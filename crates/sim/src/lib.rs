@@ -16,6 +16,7 @@
 //! * [`drr`] — deficit-round-robin fair queuing over dynamic key sets.
 //! * [`bucket`] — token-bucket rate limiting (the request-channel cap).
 //! * [`node`] — the [`node::Node`] trait and [`node::Ctx`] services.
+//! * [`intern`] — dense address indices backing the routing arrays.
 //! * [`engine`] — channels, routing, the dispatch loop.
 //! * [`topology`] — declarative topology construction with shortest-path
 //!   routing.
@@ -27,6 +28,7 @@ pub mod bucket;
 pub mod drr;
 pub mod engine;
 pub mod event;
+pub mod intern;
 pub mod node;
 pub mod queue;
 pub mod stats;
@@ -38,6 +40,7 @@ pub use bucket::TokenBucket;
 pub use drr::Drr;
 pub use engine::{Channel, Simulator};
 pub use event::{ChannelId, NodeId};
+pub use intern::AddrInterner;
 pub use node::{Ctx, Node, SinkNode};
 pub use queue::{DropTail, Enqueued, QueueDisc};
 pub use stats::ChannelStats;

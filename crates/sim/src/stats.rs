@@ -7,6 +7,8 @@ use crate::time::SimTime;
 pub struct ChannelStats {
     /// Packets accepted into the egress queue.
     pub enqueued_pkts: u64,
+    /// Bytes of accepted packets (wire length at enqueue time).
+    pub enqueued_bytes: u64,
     /// Packets the egress queue refused (drops).
     pub dropped_pkts: u64,
     /// Bytes of dropped packets.

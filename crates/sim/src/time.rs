@@ -6,7 +6,7 @@
 //! years of simulated time without overflow.
 
 use std::fmt;
-use std::ops::{Add, AddAssign, Sub};
+use std::ops::{Add, AddAssign, Mul, Sub};
 
 /// An instant on the simulation clock (nanoseconds since simulation start).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -124,9 +124,13 @@ impl SimDuration {
         SimDuration(ns as u64)
     }
 
-    /// Scalar multiply (for backoff doubling etc.).
+}
+
+/// Scalar multiply (for backoff doubling etc.), saturating.
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
     #[inline]
-    pub fn mul(self, k: u64) -> Self {
+    fn mul(self, k: u64) -> SimDuration {
         SimDuration(self.0.saturating_mul(k))
     }
 }
@@ -218,7 +222,7 @@ mod tests {
     fn arithmetic() {
         let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
         assert_eq!(t.as_nanos(), 1_500_000_000);
-        assert_eq!(SimDuration::from_secs(1).mul(3), SimDuration::from_secs(3));
+        assert_eq!(SimDuration::from_secs(1) * 3, SimDuration::from_secs(3));
         assert_eq!(
             SimDuration::from_secs(5) - SimDuration::from_secs(2),
             SimDuration::from_secs(3)

@@ -9,6 +9,7 @@ use std::collections::{HashMap, VecDeque};
 
 use crate::engine::{Channel, RouteTable, Simulator};
 use crate::event::{ChannelId, NodeId};
+use crate::intern::AddrInterner;
 use crate::node::Node;
 use crate::queue::QueueDisc;
 use crate::time::SimDuration;
@@ -100,11 +101,13 @@ impl TopologyBuilder {
         LinkHandle { ab, ba }
     }
 
-    /// Finishes construction: computes shortest-path routes for every bound
-    /// address and seeds the engine RNG.
+    /// Finishes construction: interns every bound address (in `bind_addr`
+    /// order), computes shortest-path routes for each into dense per-node
+    /// next-hop arrays, and seeds the engine RNG.
     pub fn build(self, seed: u64) -> Simulator {
         let n = self.nodes.len();
         let mut routes: Vec<RouteTable> = (0..n).map(|_| RouteTable::default()).collect();
+        let mut interner = AddrInterner::new();
 
         // Incoming channel lists per node (edges reversed for BFS from the
         // destination outward).
@@ -118,6 +121,7 @@ impl TopologyBuilder {
         }
 
         for &(addr, target) in &self.addrs {
+            let idx = interner.intern(addr);
             // BFS over reversed edges; dist[v] = hops from v to target.
             let mut dist: Vec<Option<u32>> = vec![None; n];
             dist[target.0] = Some(0);
@@ -131,14 +135,19 @@ impl TopologyBuilder {
                     let u = ch.from;
                     if dist[u.0].is_none() {
                         dist[u.0] = Some(dv + 1);
-                        routes[u.0].table.insert(addr, ch_id);
+                        // An entry equal to the node's default route would
+                        // resolve identically through the fallback; prune
+                        // it so stub hosts keep an empty array.
+                        if routes[u.0].default != Some(ch_id) {
+                            routes[u.0].insert(idx, ch_id);
+                        }
                         q.push_back(u);
                     }
                 }
             }
         }
 
-        Simulator::new(self.nodes, self.channels, routes, seed)
+        Simulator::new(self.nodes, self.channels, routes, interner, seed)
     }
 }
 

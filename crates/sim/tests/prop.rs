@@ -84,7 +84,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut admitted: u64 = 0;
         for &(gap_us, bytes) in &tries {
-            now = now + SimDuration::from_micros(gap_us);
+            now += SimDuration::from_micros(gap_us);
             if b.try_consume(bytes, now) {
                 admitted += bytes as u64;
             }

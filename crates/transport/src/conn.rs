@@ -163,7 +163,7 @@ impl SenderConn {
     /// The effective RTO including backoff.
     fn rto(&self, cfg: &TcpConfig) -> SimDuration {
         let base = self.base_rto.max(cfg.min_rto);
-        base.mul(1u64 << self.backoff.min(16))
+        base * (1u64 << self.backoff.min(16))
     }
 
     /// Bytes in flight.
@@ -212,10 +212,11 @@ impl SenderConn {
             self.snd_nxt += len;
         }
         // FIN once all data is out and acked.
-        if self.state == SenderState::Finishing && self.snd_nxt == self.fin_seq() {
-            if self.transmit_seg(self.fin_seq(), cfg, now, out) {
-                self.snd_nxt += 1;
-            }
+        if self.state == SenderState::Finishing
+            && self.snd_nxt == self.fin_seq()
+            && self.transmit_seg(self.fin_seq(), cfg, now, out)
+        {
+            self.snd_nxt += 1;
         }
         if self.timer.is_none() && self.flight() > 0 {
             self.timer = Some(now + self.rto(cfg));

@@ -17,6 +17,7 @@ pub mod addr;
 pub mod cap;
 pub mod codec;
 pub mod error;
+pub mod fasthash;
 pub mod header;
 pub mod ipcodec;
 pub mod nt;
@@ -29,6 +30,7 @@ pub use ipcodec::{
     decode_packet, encode_packet, internet_checksum, IPPROTO_DATA, IPPROTO_TCP, IPPROTO_TVA,
 };
 pub use error::WireError;
+pub use fasthash::{DetBuildHasher, DetHashMap, DetHashSet, FastHasher};
 pub use header::{CapHeader, CapKind, CapPayload, ReturnInfo, VERSION};
 pub use nt::{Grant, NBytes, TSecs};
 pub use packet::{Packet, PacketId, PacketIdGen, TcpFlags, TcpSegment, IP_HEADER_LEN, TCP_HEADER_LEN};

@@ -50,7 +50,7 @@ fn main() {
     bins.sort_by_key(|&(b, ..)| b);
     println!("window      transfers   mean     worst");
     for (b, sum, n, max) in bins {
-        let marker = if (5..25).contains(&(b as i64 - 5)) && b >= 10 && b < 20 {
+        let marker = if (10..20).contains(&b) {
             "  ← attack"
         } else {
             ""

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Runs the tracked simulator benchmark and updates BENCH_sim.json at the
+# repo root. Refuses to record a >10% regression (engine events/sec down or
+# fig8 sweep wall time up) against the existing baseline unless --force is
+# passed; see crates/bench/src/bin/bench.rs for the gate itself.
+#
+# Usage: scripts/bench.sh [--force] [--engine-only] [--out PATH]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p tva-bench --bin bench -- "$@"

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verify flow: release build, full test suite, and lint-clean clippy.
+# This is the gate a change must pass before it lands (see ROADMAP.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -2,8 +2,16 @@
 //! full stack (scenario harness included); different seeds produce
 //! different microscopic outcomes.
 
+use std::hash::{BuildHasher, Hasher};
+use std::sync::{Arc, Mutex};
+
+use tva::core::{
+    ClientPolicy, HostConfig, RouterConfig, ServerPolicy, TvaHostShim, TvaRouterNode, TvaScheduler,
+};
 use tva::experiments::{run, Attack, ScenarioConfig, Scheme};
-use tva::sim::SimTime;
+use tva::sim::{format_event, DropTail, SimDuration, SimTime, TopologyBuilder};
+use tva::transport::{ClientNode, ServerNode, TcpConfig, TOKEN_START};
+use tva::wire::{Addr, DetBuildHasher, Grant};
 
 fn cfg(seed: u64) -> ScenarioConfig {
     ScenarioConfig {
@@ -26,6 +34,98 @@ fn same_seed_same_run() {
     assert_eq!(a.summary.attempts, b.summary.attempts);
     assert!((a.summary.avg_completion_secs - b.summary.avg_completion_secs).abs() < 1e-12);
     assert!((a.bottleneck_drop_rate - b.bottleneck_drop_rate).abs() < 1e-12);
+}
+
+/// Builds the fig8-style TVA dumbbell (clients → r1 → bottleneck → r2 →
+/// server), runs `sim_secs` with a tracer hashing the rendered trace
+/// stream, and returns `(stream hash, events dispatched)`.
+fn traced_dumbbell(seed: u64, sim_secs: u64) -> (u64, u64) {
+    const SERVER: Addr = Addr::new(10, 0, 0, 1);
+    let cfg1 = RouterConfig { secret_seed: seed ^ 0x1111, ..Default::default() };
+    let cfg2 = RouterConfig { secret_seed: seed ^ 0x2222, ..Default::default() };
+    let mut t = TopologyBuilder::new();
+    let r1 = t.add_node(Box::new(TvaRouterNode::new(cfg1.clone(), 10_000_000)));
+    let r2 = t.add_node(Box::new(TvaRouterNode::new(cfg2.clone(), 10_000_000)));
+    let server = t.add_node(Box::new(ServerNode::new(
+        SERVER,
+        TcpConfig::default(),
+        Box::new(TvaHostShim::new(
+            SERVER,
+            HostConfig::default(),
+            Box::new(ServerPolicy::new(Grant::from_parts(100, 10), SimDuration::from_secs(30))),
+        )),
+    )));
+    t.bind_addr(server, SERVER);
+    let d = SimDuration::from_millis(10);
+    t.link(
+        r1,
+        r2,
+        10_000_000,
+        d,
+        Box::new(TvaScheduler::new(10_000_000, &cfg1)),
+        Box::new(TvaScheduler::new(10_000_000, &cfg2)),
+    );
+    t.link(
+        r2,
+        server,
+        100_000_000,
+        d,
+        Box::new(TvaScheduler::new(100_000_000, &cfg2)),
+        Box::new(DropTail::new(1 << 20)),
+    );
+    let mut clients = Vec::new();
+    for i in 0..5 {
+        let addr = Addr::new(20, 0, 0, i + 1);
+        let c = t.add_node(Box::new(ClientNode::new(
+            addr,
+            SERVER,
+            20 * 1024,
+            100_000,
+            TcpConfig::default(),
+            Box::new(TvaHostShim::new(
+                addr,
+                HostConfig::default(),
+                Box::new(ClientPolicy { grant: Grant::from_parts(100, 10) }),
+            )),
+        )));
+        t.bind_addr(c, addr);
+        t.link(
+            c,
+            r1,
+            100_000_000,
+            d,
+            Box::new(DropTail::new(1 << 20)),
+            Box::new(TvaScheduler::new(100_000_000, &cfg1)),
+        );
+        clients.push(c);
+    }
+    let mut sim = t.build(seed);
+    let hasher = Arc::new(Mutex::new(DetBuildHasher::default().build_hasher()));
+    let sink = Arc::clone(&hasher);
+    sim.set_tracer(Some(Box::new(move |ev| {
+        let mut h = sink.lock().expect("tracer hash lock");
+        h.write(format_event(ev).as_bytes());
+        h.write_u8(b'\n');
+    })));
+    for &c in &clients {
+        sim.kick(c, TOKEN_START);
+    }
+    sim.run_until(SimTime::from_secs(sim_secs));
+    let events = sim.events_processed();
+    let hash = hasher.lock().expect("tracer hash lock").finish();
+    (hash, events)
+}
+
+/// Two runs of the same seeded scenario must produce byte-identical trace
+/// streams — every enqueue, drop, transmit start, and delivery at the same
+/// time on the same channel for the same packet, in the same order.
+#[test]
+fn same_seed_identical_trace_stream() {
+    let (h1, n1) = traced_dumbbell(20_050_821, 20);
+    let (h2, n2) = traced_dumbbell(20_050_821, 20);
+    assert!(n1 > 10_000, "dumbbell must generate real traffic, got {n1} events");
+    assert_eq!(n1, n2, "event counts must match");
+    assert_eq!(h1, h2, "trace streams must be byte-identical");
 }
 
 #[test]

@@ -53,7 +53,7 @@ proptest! {
         for step in steps {
             match step {
                 Step::Send { gap_ms, len } => {
-                    now = now + SimDuration::from_millis(gap_ms);
+                    now += SimDuration::from_millis(gap_ms);
                     if now > t_end {
                         break; // the capability has expired (T check)
                     }
@@ -68,7 +68,7 @@ proptest! {
                     }
                 }
                 Step::Compete { gap_ms } => {
-                    now = now + SimDuration::from_millis(gap_ms);
+                    now += SimDuration::from_millis(gap_ms);
                     // The competitor may only take the slot when the
                     // adversary's ttl reached zero (create refuses
                     // otherwise).

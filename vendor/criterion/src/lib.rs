@@ -1,0 +1,208 @@
+//! Offline vendored mini benchmark harness.
+//!
+//! API-compatible with the slice of `criterion` 0.5 this workspace's
+//! bench targets use (`benchmark_group`, `bench_function`, `iter`,
+//! `iter_batched`, `Throughput::Elements`, `criterion_group!`/
+//! `criterion_main!`). Instead of criterion's full statistical
+//! machinery it reports the **best sample mean** of `sample_size`
+//! samples — a low-noise point estimate suited to the repo's tracked
+//! `BENCH_sim.json` trajectory.
+
+// Vendored dependency stand-in: keep diffable against upstream, not lint-clean.
+#![allow(clippy::all)]
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Target wall time per sample; iteration counts are auto-calibrated
+/// so one sample costs roughly this much.
+const TARGET_SAMPLE_NANOS: u128 = 10_000_000;
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Accepts CLI args for API compatibility (no-op: the stub has no
+    /// filtering or baseline flags).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 20, throughput: None }
+    }
+}
+
+/// Work-per-iteration declaration used to derive rate numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (the stub sizes
+/// batches by time, so this is informational only).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timing samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work performed by one iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { sample_size: self.sample_size, best_ns_per_iter: f64::INFINITY };
+        f(&mut b);
+        let ns = b.best_ns_per_iter;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if ns.is_finite() && ns > 0.0 => {
+                format!("  ({:.3} Melem/s)", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if ns.is_finite() && ns > 0.0 => {
+                format!("  ({:.3} MiB/s)", n as f64 / ns * 1e9 / (1 << 20) as f64)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}: {:.1} ns/iter{}", self.name, id, ns, rate);
+        self
+    }
+
+    /// Ends the group (prints nothing; samples were reported inline).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibrate: how many iterations fill one sample?
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().as_nanos().max(1);
+        let iters = (TARGET_SAMPLE_NANOS / once).clamp(1, 10_000_000) as usize;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            if ns < self.best_ns_per_iter {
+                self.best_ns_per_iter = ns;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the reported figure.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate with one input.
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = start.elapsed().as_nanos().max(1);
+        let batch = (TARGET_SAMPLE_NANOS / once).clamp(1, 100_000) as usize;
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < self.best_ns_per_iter {
+                self.best_ns_per_iter = ns;
+            }
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_finite_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3, 4],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,716 @@
+//! Offline vendored mini property-testing framework.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the slice of the `proptest` DSL this workspace uses:
+//! the `proptest!` macro (both `name in strategy` and `name: Type`
+//! parameter forms, plus `#![proptest_config(..)]`), `prop_assert*!`,
+//! `prop_oneof!`, `any`, `Just`, `prop_map`/`prop_perturb`, integer
+//! range strategies, `collection::vec`, `option::of`, and
+//! `sample::Index`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! - **No shrinking.** A failing case panics with the `Debug` rendering
+//!   of every generated input instead of a minimized counterexample.
+//! - **Deterministic generation.** Case `i` of every test derives its
+//!   RNG from a fixed seed, so failures reproduce exactly across runs
+//!   (`proptest-regressions` files are not consulted).
+
+// Vendored dependency stand-in: keep diffable against upstream, not lint-clean.
+#![allow(clippy::all)]
+
+#![forbid(unsafe_code)]
+
+/// Test execution: config, RNG, runner, and failure plumbing.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The generator handed to strategies (SplitMix64 stream; quality is
+    /// ample for test-input generation and the stream is deterministic).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a random value (`rand`-style API used by
+        /// `prop_perturb` closures).
+        pub fn random<T: RandomSample>(&mut self) -> T {
+            T::sample(self)
+        }
+
+        /// Splits off an independent generator.
+        pub fn fork(&mut self) -> TestRng {
+            TestRng::from_seed(self.next_u64())
+        }
+    }
+
+    /// Types `TestRng::random` can produce.
+    pub trait RandomSample {
+        /// Draws one value from the generator.
+        fn sample(rng: &mut TestRng) -> Self;
+    }
+
+    impl RandomSample for u64 {
+        fn sample(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl RandomSample for u32 {
+        fn sample(rng: &mut TestRng) -> Self {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl RandomSample for usize {
+        fn sample(rng: &mut TestRng) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl RandomSample for bool {
+        fn sample(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// A failed property case: the assertion message plus (once known)
+    /// the `Debug` rendering of the generated inputs.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+        inputs: Option<String>,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError { msg: msg.into(), inputs: None }
+        }
+
+        /// Attaches the rendered inputs that produced the failure.
+        pub fn with_inputs(mut self, inputs: String) -> Self {
+            self.inputs = Some(inputs);
+            self
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.msg)?;
+            if let Some(inputs) = &self.inputs {
+                write!(f, "\n  inputs: {inputs}")?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Runs a property over `config.cases` deterministic cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with the given configuration.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Executes the property once per case, panicking on the first
+        /// failure with the case number and rendered inputs.
+        pub fn run<F>(&mut self, mut property: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                // Distinct, fixed per-case stream: reruns reproduce.
+                let mut rng =
+                    TestRng::from_seed(0x70f7_e57_u64 ^ (case as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+                if let Err(e) = property(&mut rng) {
+                    panic!(
+                        "property failed at case {}/{}:\n  {}",
+                        case + 1,
+                        self.config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Maps generated values through `f` with access to a forked RNG.
+        fn prop_perturb<O, F>(self, f: F) -> Perturb<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value, TestRng) -> O,
+        {
+            Perturb { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of the held value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_perturb`].
+    pub struct Perturb<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Perturb<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value, TestRng) -> O,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            let v = self.inner.gen_value(rng);
+            (self.f)(v, rng.fork())
+        }
+    }
+
+    /// Uniform choice between strategies of a common value type
+    /// (backing store of the `prop_oneof!` macro).
+    pub struct OneOf<V> {
+        options: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Creates a union over the given generator closures.
+        pub fn new(options: Vec<Box<dyn Fn(&mut TestRng) -> V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            OneOf { options }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            (self.options[i])(rng)
+        }
+    }
+
+    /// Boxes a strategy into a generator closure with a concrete value
+    /// type (used by `prop_oneof!` so element types unify).
+    pub fn boxed_gen<S>(strategy: S) -> Box<dyn Fn(&mut TestRng) -> S::Value>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(move |rng| strategy.gen_value(rng))
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(hi > lo, "empty range strategy");
+                    let width = (hi - lo) as u128;
+                    (lo + (rng.next_u64() as u128 % width) as i128) as $t
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let lo = *self.start() as i128;
+                    let hi = *self.end() as i128;
+                    assert!(hi >= lo, "empty range strategy");
+                    let width = (hi - lo) as u128 + 1;
+                    (lo + (rng.next_u64() as u128 % width) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    /// Generates any value of `T` (full range).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A length range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates a `Vec` whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        assert!(size.hi_exclusive > size.lo, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let width = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % width) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `None` half the time and `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose length is only known at use
+    /// time; generate one with `any::<Index>()`, apply with
+    /// [`Index::index`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Projects onto `0..len`. Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Namespace mirror so `prop::sample::Index` etc. resolve as they do
+/// with the real crate's prelude.
+pub mod prop {
+    pub use crate::{collection, option, sample, strategy};
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Supports `#![proptest_config(expr)]` as the
+/// first item and both `name in strategy` and `name: Type` parameters.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!{ ($cfg) ($body) () $($params)* }
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters consumed: emit the runner.
+    ( ($cfg:expr) ($body:block) ( $(($name:ident, $strat:expr))* ) ) => {{
+        let mut __runner = $crate::test_runner::TestRunner::new($cfg);
+        __runner.run(|__rng| {
+            $(let $name = $crate::strategy::Strategy::gen_value(&($strat), __rng);)*
+            // Render inputs before the body runs: the body may consume
+            // the bindings by value.
+            let __inputs: ::std::string::String = {
+                let mut __s = ::std::string::String::new();
+                $(
+                    __s.push_str(::std::concat!(::std::stringify!($name), " = "));
+                    __s.push_str(&::std::format!("{:?}; ", &$name));
+                )*
+                __s
+            };
+            let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| { $body ::std::result::Result::Ok(()) })();
+            __result.map_err(|__e| __e.with_inputs(__inputs))
+        });
+    }};
+    // `name in strategy` parameter.
+    ( ($cfg:expr) ($body:block) ( $($acc:tt)* ) $name:ident in $strat:expr, $($rest:tt)* ) => {
+        $crate::__proptest_case!{ ($cfg) ($body) ( $($acc)* ($name, $strat) ) $($rest)* }
+    };
+    ( ($cfg:expr) ($body:block) ( $($acc:tt)* ) $name:ident in $strat:expr ) => {
+        $crate::__proptest_case!{ ($cfg) ($body) ( $($acc)* ($name, $strat) ) }
+    };
+    // `name: Type` parameter (sugar for `any::<Type>()`).
+    ( ($cfg:expr) ($body:block) ( $($acc:tt)* ) $name:ident : $ty:ty, $($rest:tt)* ) => {
+        $crate::__proptest_case!{ ($cfg) ($body) ( $($acc)* ($name, $crate::arbitrary::any::<$ty>()) ) $($rest)* }
+    };
+    ( ($cfg:expr) ($body:block) ( $($acc:tt)* ) $name:ident : $ty:ty ) => {
+        $crate::__proptest_case!{ ($cfg) ($body) ( $($acc)* ($name, $crate::arbitrary::any::<$ty>()) ) }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        if !(*__lhs == *__rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n    left: {:?}\n   right: {:?}",
+                    ::std::stringify!($lhs), ::std::stringify!($rhs), __lhs, __rhs
+                ),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        if !(*__lhs == *__rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "{}\n    left: {:?}\n   right: {:?}",
+                    ::std::format!($($fmt)+), __lhs, __rhs
+                ),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        if *__lhs == *__rhs {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n    both: {:?}",
+                    ::std::stringify!($lhs), ::std::stringify!($rhs), __lhs
+                ),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        if *__lhs == *__rhs {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("{}\n    both: {:?}", ::std::format!($($fmt)+), __lhs),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies with a shared value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::boxed_gen($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u32..20, y in 0u8..=3, z: u64) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 3);
+            let _ = z;
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5, "len {}", v.len());
+        }
+
+        #[test]
+        fn oneof_and_map_compose(n in prop_oneof![
+            (0u32..10).prop_map(|v| v * 2),
+            Just(100u32),
+        ]) {
+            prop_assert!(n == 100 || (n % 2 == 0 && n < 20));
+        }
+
+        #[test]
+        fn perturb_gets_rng(k in Just(()).prop_perturb(|_, mut rng| rng.random::<u64>() % 7)) {
+            prop_assert!(k < 7);
+        }
+
+        #[test]
+        fn index_projects(idx in any::<prop::sample::Index>(), len in 1usize..50) {
+            prop_assert!(idx.index(len) < len);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(crate::arbitrary::any::<u64>(), 1..10);
+        let a = s.gen_value(&mut TestRng::from_seed(42));
+        let b = s.gen_value(&mut TestRng::from_seed(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

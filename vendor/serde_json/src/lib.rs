@@ -1,0 +1,250 @@
+//! Offline vendored subset of `serde_json`.
+//!
+//! The experiments crate only builds [`Value`] trees by hand and
+//! pretty-prints them, so this stub provides exactly that: a `Value`
+//! enum, an insertion-ordered [`Map`], and [`to_string_pretty`]. The
+//! output formatting (2-space indent, `": "` separators) matches the
+//! real crate so previously-committed `.json` artifacts stay
+//! byte-identical.
+
+// Vendored dependency stand-in: keep diffable against upstream, not lint-clean.
+#![allow(clippy::all)]
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+/// A JSON value (subset: the variants this workspace constructs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number, stored as its literal text (already formatted).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Map<String, Value>),
+}
+
+/// A string-keyed map that iterates in sorted key order, mirroring
+/// `serde_json::Map` without `preserve_order` (a `BTreeMap`): committed
+/// `.json` artifacts have alphabetical keys, so serialization order
+/// must match.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map { entries: Vec::new() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a key-value pair at its sorted position, replacing any
+    /// existing entry with the same key; returns the previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        match self.entries.binary_search_by(|(k, _)| k.as_str().cmp(key.as_str())) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Looks up a value by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Iterates entries in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+/// Serialization error (never produced by this stub; kept so call sites
+/// can use the same `Result`-based API as the real crate).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty-prints a [`Value`] with 2-space indentation, matching
+/// `serde_json::to_string_pretty`.
+pub fn to_string_pretty<T: AsValue>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.as_value(), 0);
+    Ok(out)
+}
+
+/// Conversion into a borrowed-or-built [`Value`] so `to_string_pretty`
+/// accepts both `&Value` and `&Vec<Value>` like the generic original.
+pub trait AsValue {
+    /// Returns the value tree to serialize.
+    fn as_value(&self) -> Value;
+}
+
+impl AsValue for Value {
+    fn as_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl AsValue for Vec<Value> {
+    fn as_value(&self) -> Value {
+        Value::Array(self.clone())
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Number(n) => {
+            if n.fract() == 0.0 && n.is_finite() && n.abs() < 1e15 {
+                let _ = write!(out, "{}", *n as i64);
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_value(out, val, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_serde_json_format() {
+        let mut map = Map::new();
+        map.insert("scheme".to_string(), Value::String("tva".to_string()));
+        map.insert("x".to_string(), Value::String("10".to_string()));
+        let records = vec![Value::Object(map)];
+        let s = to_string_pretty(&records).unwrap();
+        assert_eq!(
+            s,
+            "[\n  {\n    \"scheme\": \"tva\",\n    \"x\": \"10\"\n  }\n]"
+        );
+    }
+
+    #[test]
+    fn keys_iterate_sorted() {
+        let map: Map<String, Value> = [
+            ("z".to_string(), Value::Null),
+            ("a".to_string(), Value::Bool(true)),
+            ("m".to_string(), Value::Null),
+        ]
+        .into_iter()
+        .collect();
+        let keys: Vec<&String> = map.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "m", "z"]);
+    }
+
+    #[test]
+    fn escapes_control_chars() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+}
