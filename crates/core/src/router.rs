@@ -54,6 +54,9 @@ pub struct RouterStats {
     /// Valid packets refused state because the flow table was full of live
     /// entries (counted as demotions too).
     pub table_admission_failures: u64,
+    /// Arriving datagrams that failed wire decoding (truncated or
+    /// bit-flipped beyond recognition) and were dropped at ingress.
+    pub malformed_drops: u64,
 }
 
 /// The result of processing one packet (exposed for the benchmarks, which
@@ -290,6 +293,18 @@ impl Node for TvaRouterNode {
     }
 
     fn on_timer(&mut self, _token: u64, _ctx: &mut dyn Ctx) {}
+
+    fn on_malformed(
+        &mut self,
+        _error: tva_wire::WireError,
+        _from: ChannelId,
+        _ctx: &mut dyn Ctx,
+    ) {
+        // Unparseable ingress is dropped and accounted, never forwarded
+        // and never a panic: garbage on the wire must cost the router
+        // nothing but this counter.
+        self.router.stats.malformed_drops += 1;
+    }
 
     fn as_any(&self) -> &dyn Any {
         self

@@ -1,0 +1,184 @@
+//! Robustness sweep: loss rate and mid-transfer link failure across
+//! TVA / SIFF / legacy on the diamond testbed.
+//!
+//! ```text
+//! cargo run --release -p tva-experiments --bin robustness [-- --quick|--full|--smoke]
+//! ```
+//!
+//! `--smoke` runs a two-point loss sweep plus one mid-transfer link
+//! failure, asserts TVA recovered via capability re-request over the
+//! backup path, and writes nothing (CI fault-injection check).
+
+use tva_experiments::figrun::{results_dir, write_json};
+use tva_experiments::robustness::{run, LinkFailure, RobustnessConfig, RobustnessResult};
+use tva_experiments::{table, write_tsv, Scheme};
+use tva_sim::{SimDuration, SimTime};
+
+const SCHEMES: [Scheme; 3] = [Scheme::Internet, Scheme::Siff, Scheme::Tva];
+
+fn base(scheme: Scheme, seed_salt: u64) -> RobustnessConfig {
+    RobustnessConfig {
+        scheme,
+        seed: 20050821 ^ seed_salt,
+        ..RobustnessConfig::default()
+    }
+}
+
+fn failure() -> LinkFailure {
+    LinkFailure {
+        down_at: SimTime::from_secs(40),
+        up_at: Some(SimTime::from_secs(80)),
+    }
+}
+
+fn row(cfg: &RobustnessConfig, r: &RobustnessResult) -> Vec<String> {
+    vec![
+        cfg.scheme.name().to_string(),
+        format!("{:.3}", cfg.loss),
+        format!("{:.3}", cfg.corrupt),
+        if cfg.link_failure.is_some() { "1" } else { "0" }.to_string(),
+        r.summary.attempts.to_string(),
+        r.summary.completed.to_string(),
+        format!("{:.3}", r.summary.completion_fraction),
+        format!("{:.3}", r.summary.avg_completion_secs),
+        format!("{:.3}", r.summary.p95_secs),
+        r.completed_after_failure.to_string(),
+        r.reconvergences.to_string(),
+        r.backup_pkts.to_string(),
+        r.backup_requests_stamped.to_string(),
+        r.backup_validations.to_string(),
+        r.lost_pkts.to_string(),
+        r.corrupted_pkts.to_string(),
+        r.malformed_pkts.to_string(),
+        r.malformed_drops.to_string(),
+    ]
+}
+
+const HEADERS: [&str; 18] = [
+    "scheme",
+    "loss",
+    "corrupt",
+    "failure",
+    "attempts",
+    "completed",
+    "fraction",
+    "time_s",
+    "p95_s",
+    "completed_after_failure",
+    "reconvergences",
+    "backup_pkts",
+    "backup_stamped",
+    "backup_validated",
+    "lost",
+    "corrupted",
+    "malformed",
+    "malformed_drops",
+];
+
+fn smoke() {
+    eprintln!("== robustness --smoke: loss sweep + mid-transfer failure ==");
+    for (i, loss) in [0.0, 0.1].into_iter().enumerate() {
+        let cfg = RobustnessConfig {
+            loss,
+            n_users: 2,
+            duration: SimTime::from_secs(30),
+            failure_grace: SimDuration::from_secs(10),
+            ..base(Scheme::Tva, i as u64)
+        };
+        let r = run(&cfg);
+        eprintln!(
+            "  loss={loss:.2}: fraction={:.3} lost={}",
+            r.summary.completion_fraction, r.lost_pkts
+        );
+        assert!(
+            r.summary.completion_fraction > 0.9,
+            "TVA must ride out {loss} loss: {:?}",
+            r.summary
+        );
+        if loss > 0.0 {
+            assert!(r.lost_pkts > 0, "impairment must have fired");
+        }
+    }
+    let cfg = RobustnessConfig {
+        n_users: 2,
+        duration: SimTime::from_secs(30),
+        failure_grace: SimDuration::from_secs(10),
+        link_failure: Some(LinkFailure {
+            down_at: SimTime::from_secs(10),
+            up_at: Some(SimTime::from_secs(20)),
+        }),
+        ..base(Scheme::Tva, 99)
+    };
+    let r = run(&cfg);
+    eprintln!(
+        "  failure: reconvergences={} backup_stamped={} completed_after={}",
+        r.reconvergences, r.backup_requests_stamped, r.completed_after_failure
+    );
+    assert_eq!(r.reconvergences, 2, "failure + recovery re-converged");
+    assert!(r.backup_requests_stamped > 0, "caps re-requested via backup: {r:?}");
+    assert!(r.completed_after_failure > 0, "transfers completed post-failure: {r:?}");
+    eprintln!("robustness smoke OK");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let full = args.iter().any(|a| a == "--full");
+
+    let losses: &[f64] = if full {
+        &[0.0, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2]
+    } else {
+        &[0.0, 0.05, 0.1, 0.2]
+    };
+    let corrupts: &[f64] = if full { &[0.02, 0.1] } else { &[0.05] };
+
+    let mut configs: Vec<RobustnessConfig> = Vec::new();
+    for &scheme in &SCHEMES {
+        for (i, &loss) in losses.iter().enumerate() {
+            configs.push(RobustnessConfig { loss, ..base(scheme, i as u64) });
+        }
+        for (i, &corrupt) in corrupts.iter().enumerate() {
+            configs.push(RobustnessConfig { corrupt, ..base(scheme, 0x100 + i as u64) });
+        }
+        // Mid-transfer failure with recovery, clean wire and lossy wire.
+        configs.push(RobustnessConfig {
+            link_failure: Some(failure()),
+            ..base(scheme, 0x200)
+        });
+        configs.push(RobustnessConfig {
+            loss: 0.05,
+            link_failure: Some(failure()),
+            ..base(scheme, 0x201)
+        });
+    }
+
+    eprintln!("== robustness: {} runs ==", configs.len());
+    let mut rows = Vec::new();
+    for (i, cfg) in configs.iter().enumerate() {
+        let r = run(cfg);
+        eprintln!(
+            "  [{}/{}] {} loss={:.2} corrupt={:.2} failure={} fraction={:.3}",
+            i + 1,
+            configs.len(),
+            cfg.scheme.name(),
+            cfg.loss,
+            cfg.corrupt,
+            cfg.link_failure.is_some() as u8,
+            r.summary.completion_fraction,
+        );
+        rows.push(row(cfg, &r));
+    }
+
+    println!("robustness: impairments and link failure on the diamond testbed\n");
+    println!("{}", table(&HEADERS, &rows));
+
+    let path = results_dir().join("robustness.tsv");
+    match write_tsv(&path, &HEADERS, &rows) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    write_json("robustness", &HEADERS, &rows);
+}

@@ -72,7 +72,7 @@ pub fn run_sweep_figure(name: &str, title: &str, configs: Vec<ScenarioConfig>) {
 }
 
 /// Writes rows as a JSON array of string-valued records next to the TSV.
-fn write_json(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+pub fn write_json(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     let records: Vec<serde_json::Value> = rows
         .iter()
         .map(|row| {

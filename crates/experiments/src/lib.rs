@@ -19,6 +19,7 @@
 pub mod figrun;
 pub mod figures;
 pub mod report;
+pub mod robustness;
 pub mod scenario;
 pub mod sweep;
 
@@ -28,4 +29,5 @@ pub use scenario::{
     attacker_addr, run, run_inspect, Attack, BuiltNodes, ScenarioConfig, ScenarioResult, Scheme,
     COLLUDER, DEST,
 };
-pub use sweep::run_all;
+pub use robustness::{LinkFailure, RobustnessConfig, RobustnessResult};
+pub use sweep::{run_all, run_all_checked, SweepFailure};

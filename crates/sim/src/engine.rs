@@ -4,11 +4,13 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::event::{ChannelId, EventKind, EventQueue, NodeId};
+use crate::fault::{self, Impairments, FAULT_STREAM};
 use crate::intern::AddrInterner;
 use crate::node::{Ctx, Node};
 use crate::queue::QueueDisc;
 use crate::stats::ChannelStats;
 use crate::time::{SimDuration, SimTime};
+use crate::topology::LinkHandle;
 use crate::trace::{TraceEvent, TraceKind, Tracer};
 use tva_wire::{Addr, Packet, PacketId};
 
@@ -27,8 +29,32 @@ pub struct Channel {
     pub(crate) busy: bool,
     pub(crate) in_flight: Option<Packet>,
     pub(crate) wake_at: Option<SimTime>,
+    /// Wire impairments; `None` (the default) costs one branch per packet.
+    pub(crate) impair: Option<Impairments>,
+    /// `false` while the link is failed: the channel loses everything
+    /// offered to it and starts no new transmissions. Queued packets are
+    /// retained (a router holding its output buffer) and resume on recovery.
+    pub(crate) up: bool,
+    /// Bumped on every failure so completions scheduled before the failure
+    /// are recognized as stale (see `EventKind::TxComplete`).
+    pub(crate) epoch: u64,
     /// Counters.
     pub stats: ChannelStats,
+}
+
+impl Channel {
+    /// Whether the channel is currently up (not in a failed state; duty-
+    /// cycle outages do not affect this).
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+}
+
+/// What the wire did to a packet that finished serializing.
+enum WireFate {
+    Deliver,
+    Lost,
+    Corrupt,
 }
 
 /// Per-node routing state: a dense next-hop array indexed by interned
@@ -69,7 +95,19 @@ pub(crate) struct Core {
     pub routes: Vec<RouteTable>,
     /// Destination-address index assigned at topology build.
     pub interner: AddrInterner,
+    /// Address bindings from the topology, retained so routes can be
+    /// recomputed when links fail or recover.
+    pub addrs: Vec<(Addr, NodeId)>,
+    /// Default routes from the topology (same retention rationale).
+    pub defaults: Vec<(NodeId, ChannelId)>,
+    /// Times the dense next-hop tables have been recomputed at runtime.
+    pub reconvergences: u64,
     pub rng: SmallRng,
+    /// Dedicated impairment stream: seeded as a fixed function of the
+    /// simulation seed but advanced only by loss/corruption draws on
+    /// impaired channels, so faults never perturb `rng` (the stream nodes
+    /// observe) and a zero-impairment run is bit-identical to the seed run.
+    pub fault_rng: SmallRng,
     pub next_packet_id: u64,
     /// Packets discarded because a node had no route.
     pub unrouted: u64,
@@ -107,6 +145,13 @@ impl Core {
         let (id, src, dst) = (pkt.id, pkt.src, pkt.dst);
         let wire_len = pkt.wire_len();
         let c = &mut self.channels[ch.0];
+        if !c.up {
+            // A failed link loses everything offered to it.
+            c.stats.lost_pkts += 1;
+            c.stats.lost_bytes += wire_len as u64;
+            self.trace_fields(TraceKind::Lost, ch, id, src, dst, wire_len);
+            return false;
+        }
         if c.queue.enqueue(pkt, self.now).is_accepted() {
             c.stats.enqueued_pkts += 1;
             c.stats.enqueued_bytes += wire_len as u64;
@@ -125,7 +170,7 @@ impl Core {
     fn try_start(&mut self, ch: ChannelId) {
         let now = self.now;
         let c = &mut self.channels[ch.0];
-        if c.busy {
+        if c.busy || !c.up {
             return;
         }
         match c.queue.dequeue(now) {
@@ -138,7 +183,8 @@ impl Core {
                 c.busy = true;
                 c.in_flight = Some(pkt);
                 c.wake_at = None;
-                self.events.push(now + tx, EventKind::TxComplete { channel: ch });
+                let epoch = c.epoch;
+                self.events.push(now + tx, EventKind::TxComplete { channel: ch, epoch });
                 self.trace_fields(TraceKind::TxStart, ch, id, src, dst, wire_len);
             }
             None => {
@@ -155,14 +201,107 @@ impl Core {
         }
     }
 
-    fn on_tx_complete(&mut self, ch: ChannelId) {
+    fn on_tx_complete(&mut self, ch: ChannelId, epoch: u64) {
         let c = &mut self.channels[ch.0];
+        if c.epoch != epoch {
+            // Stale completion scheduled before a link failure; the failure
+            // handler already reclaimed the in-flight packet.
+            return;
+        }
         let pkt = c.in_flight.take().expect("TxComplete without packet in flight");
         c.busy = false;
         let arrival = self.now + c.delay;
         let node = c.to;
-        self.events.push(arrival, EventKind::Arrival { node, from: ch, packet: pkt });
+        let impair = c.impair;
+        let fate = match impair {
+            None => WireFate::Deliver,
+            Some(imp) => self.wire_fate(&imp),
+        };
+        match fate {
+            WireFate::Deliver => {
+                self.events.push(arrival, EventKind::Arrival { node, from: ch, packet: pkt });
+            }
+            WireFate::Lost => {
+                let (id, src, dst) = (pkt.id, pkt.src, pkt.dst);
+                let wire_len = pkt.wire_len();
+                let c = &mut self.channels[ch.0];
+                c.stats.lost_pkts += 1;
+                c.stats.lost_bytes += wire_len as u64;
+                self.trace_fields(TraceKind::Lost, ch, id, src, dst, wire_len);
+            }
+            WireFate::Corrupt => {
+                let (id, src, dst) = (pkt.id, pkt.src, pkt.dst);
+                let wire_len = pkt.wire_len();
+                self.channels[ch.0].stats.corrupted_pkts += 1;
+                self.trace_fields(TraceKind::Corrupted, ch, id, src, dst, wire_len);
+                // Real corruption: flip bits in the actual on-wire encoding
+                // and let the codec decide what survives.
+                let mut bytes = tva_wire::encode_packet(&pkt);
+                fault::corrupt_bytes(&mut bytes, &mut self.fault_rng);
+                match tva_wire::decode_packet(&bytes) {
+                    Ok(mut decoded) => {
+                        // The codec truncates the simulator's 64-bit packet
+                        // id to the 16-bit on-wire field; restore it so
+                        // traces stay attributable.
+                        decoded.id = pkt.id;
+                        self.events.push(
+                            arrival,
+                            EventKind::Arrival { node, from: ch, packet: decoded },
+                        );
+                    }
+                    Err(error) => {
+                        self.channels[ch.0].stats.malformed_pkts += 1;
+                        self.events.push(
+                            arrival,
+                            EventKind::Malformed { node, from: ch, error, wire_len },
+                        );
+                    }
+                }
+            }
+        }
         self.try_start(ch);
+    }
+
+    /// Decides what the wire does to a packet on an impaired channel.
+    /// Outages are a pure function of time; loss and corruption draw from
+    /// the dedicated fault stream.
+    fn wire_fate(&mut self, imp: &Impairments) -> WireFate {
+        if imp.outage.is_some_and(|o| o.is_down(self.now)) {
+            return WireFate::Lost;
+        }
+        if imp.loss > 0.0 && fault::unit_f64(&mut self.fault_rng) < imp.loss {
+            return WireFate::Lost;
+        }
+        if imp.corrupt > 0.0 && fault::unit_f64(&mut self.fault_rng) < imp.corrupt {
+            return WireFate::Corrupt;
+        }
+        WireFate::Deliver
+    }
+
+    /// Fails or restores one channel; returns whether the state changed.
+    /// On failure the in-flight packet (if any) is lost and the epoch is
+    /// bumped so its pending completion event becomes stale.
+    fn set_channel_up(&mut self, ch: ChannelId, up: bool) -> bool {
+        let c = &mut self.channels[ch.0];
+        if c.up == up {
+            return false;
+        }
+        c.up = up;
+        if up {
+            self.try_start(ch);
+        } else {
+            c.epoch += 1;
+            c.busy = false;
+            if let Some(pkt) = c.in_flight.take() {
+                let (id, src, dst) = (pkt.id, pkt.src, pkt.dst);
+                let wire_len = pkt.wire_len();
+                let c = &mut self.channels[ch.0];
+                c.stats.lost_pkts += 1;
+                c.stats.lost_bytes += wire_len as u64;
+                self.trace_fields(TraceKind::Lost, ch, id, src, dst, wire_len);
+            }
+        }
+        true
     }
 
     fn on_wake(&mut self, ch: ChannelId) {
@@ -240,6 +379,8 @@ impl Simulator {
         channels: Vec<Channel>,
         routes: Vec<RouteTable>,
         interner: AddrInterner,
+        addrs: Vec<(Addr, NodeId)>,
+        defaults: Vec<(NodeId, ChannelId)>,
         seed: u64,
     ) -> Self {
         Simulator {
@@ -249,7 +390,11 @@ impl Simulator {
                 channels,
                 routes,
                 interner,
+                addrs,
+                defaults,
+                reconvergences: 0,
                 rng: SmallRng::seed_from_u64(seed),
+                fault_rng: SmallRng::seed_from_u64(seed ^ FAULT_STREAM),
                 next_packet_id: 0,
                 unrouted: 0,
                 events_dispatched: 0,
@@ -295,8 +440,21 @@ impl Simulator {
                     let mut ctx = EngineCtx { core: &mut self.core, node };
                     self.nodes[node.0].on_timer(token, &mut ctx);
                 }
-                EventKind::TxComplete { channel } => self.core.on_tx_complete(channel),
+                EventKind::TxComplete { channel, epoch } => {
+                    self.core.on_tx_complete(channel, epoch)
+                }
                 EventKind::ChannelWake { channel } => self.core.on_wake(channel),
+                EventKind::Malformed { node, from, error, wire_len: _ } => {
+                    let mut ctx = EngineCtx { core: &mut self.core, node };
+                    self.nodes[node.0].on_malformed(error, from, &mut ctx);
+                }
+                EventKind::LinkState { ab, ba, up } => {
+                    let a = self.core.set_channel_up(ab, up);
+                    let b = self.core.set_channel_up(ba, up);
+                    if a || b {
+                        self.reconverge();
+                    }
+                }
             }
         }
         self.core.now = limit;
@@ -318,6 +476,86 @@ impl Simulator {
     /// Injects a packet as if it arrived at `node` (for tests).
     pub fn inject(&mut self, node: NodeId, from: ChannelId, packet: Packet) {
         self.core.events.push(self.core.now, EventKind::Arrival { node, from, packet });
+    }
+
+    /// Injects raw on-wire bytes as if they arrived at `node`: bytes that
+    /// parse become a normal arrival, bytes that do not become a malformed
+    /// delivery. This is the fuzzing entry point — arbitrary input can
+    /// never panic the engine or a node.
+    pub fn inject_bytes(&mut self, node: NodeId, from: ChannelId, bytes: &[u8]) {
+        match tva_wire::decode_packet(bytes) {
+            Ok(packet) => self.inject(node, from, packet),
+            Err(error) => self.core.events.push(
+                self.core.now,
+                EventKind::Malformed { node, from, error, wire_len: bytes.len() as u32 },
+            ),
+        }
+    }
+
+    /// Sets (or clears, when `imp.is_noop()`) one channel's impairments.
+    /// Channels without impairments pay a single branch per packet.
+    pub fn set_impairments(&mut self, ch: ChannelId, imp: Impairments) {
+        self.core.channels[ch.0].impair = if imp.is_noop() { None } else { Some(imp) };
+    }
+
+    /// Applies the same impairments to both directions of a link.
+    pub fn impair_link(&mut self, l: LinkHandle, imp: Impairments) {
+        self.set_impairments(l.ab, imp);
+        self.set_impairments(l.ba, imp);
+    }
+
+    /// Fails both directions of a link immediately: the in-flight packets
+    /// are lost, queued packets are held, and routes re-converge around the
+    /// failure (dense next-hop tables are recomputed excluding every down
+    /// channel).
+    pub fn fail_link(&mut self, l: LinkHandle) {
+        let a = self.core.set_channel_up(l.ab, false);
+        let b = self.core.set_channel_up(l.ba, false);
+        if a || b {
+            self.reconverge();
+        }
+    }
+
+    /// Restores both directions of a link immediately and re-converges
+    /// routes; retained queued packets resume transmission.
+    pub fn restore_link(&mut self, l: LinkHandle) {
+        let a = self.core.set_channel_up(l.ab, true);
+        let b = self.core.set_channel_up(l.ba, true);
+        if a || b {
+            self.reconverge();
+        }
+    }
+
+    /// Schedules both directions of `l` to fail at `at` (event-driven, so
+    /// failures interleave deterministically with traffic).
+    pub fn schedule_link_down(&mut self, l: LinkHandle, at: SimTime) {
+        assert!(at >= self.core.now, "schedule_link_down in the past");
+        self.core.events.push(at, EventKind::LinkState { ab: l.ab, ba: l.ba, up: false });
+    }
+
+    /// Schedules both directions of `l` to recover at `at`.
+    pub fn schedule_link_up(&mut self, l: LinkHandle, at: SimTime) {
+        assert!(at >= self.core.now, "schedule_link_up in the past");
+        self.core.events.push(at, EventKind::LinkState { ab: l.ab, ba: l.ba, up: true });
+    }
+
+    /// Recomputes every node's dense next-hop table from the retained
+    /// topology, excluding channels that are currently down. Called
+    /// automatically on link failure/recovery; public for tests.
+    pub fn reconverge(&mut self) {
+        self.core.routes = crate::topology::compute_routes(
+            self.nodes.len(),
+            &self.core.channels,
+            &self.core.addrs,
+            &self.core.defaults,
+            &self.core.interner,
+        );
+        self.core.reconvergences += 1;
+    }
+
+    /// How many times routes have been recomputed at runtime.
+    pub fn reconvergences(&self) -> u64 {
+        self.core.reconvergences
     }
 
     /// Immutable access to a node, downcast to its concrete type.

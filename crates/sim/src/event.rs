@@ -50,12 +50,39 @@ pub enum EventKind {
     TxComplete {
         /// The transmitting channel.
         channel: ChannelId,
+        /// The channel's failure epoch when serialization started; a link
+        /// failure bumps the epoch, turning any in-flight completion into
+        /// a recognizable stale event.
+        epoch: u64,
     },
     /// A channel's queue asked to be polled again (e.g. a rate limiter's
     /// tokens have refilled).
     ChannelWake {
         /// The channel to poll.
         channel: ChannelId,
+    },
+    /// Corrupted bytes that no longer parse as a packet arrive at a node
+    /// (dispatched to [`crate::node::Node::on_malformed`]).
+    Malformed {
+        /// Receiving node.
+        node: NodeId,
+        /// The channel the bytes arrived on.
+        from: ChannelId,
+        /// Why the decode failed.
+        error: tva_wire::WireError,
+        /// On-wire size of the unparseable datagram.
+        wire_len: u32,
+    },
+    /// A duplex link goes down or comes back up (scheduled link fault);
+    /// both directions change together and the engine re-converges routes
+    /// once when it fires.
+    LinkState {
+        /// Channel carrying one direction of the link.
+        ab: ChannelId,
+        /// Channel carrying the other direction.
+        ba: ChannelId,
+        /// `true` = restore, `false` = fail.
+        up: bool,
     },
 }
 

@@ -20,6 +20,8 @@
 //! * [`engine`] — channels, routing, the dispatch loop.
 //! * [`topology`] — declarative topology construction with shortest-path
 //!   routing.
+//! * [`fault`] — seeded wire impairments (loss, corruption, outages) and
+//!   runtime link failure with route re-convergence.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +30,7 @@ pub mod bucket;
 pub mod drr;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod intern;
 pub mod node;
 pub mod queue;
@@ -40,6 +43,7 @@ pub use bucket::TokenBucket;
 pub use drr::Drr;
 pub use engine::{Channel, Simulator};
 pub use event::{ChannelId, NodeId};
+pub use fault::{DutyCycleOutage, Impairments};
 pub use intern::AddrInterner;
 pub use node::{Ctx, Node, SinkNode};
 pub use queue::{DropTail, Enqueued, QueueDisc};

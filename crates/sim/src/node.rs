@@ -19,6 +19,13 @@ pub trait Node: Any {
     /// Called when a timer set via [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, token: u64, ctx: &mut dyn Ctx);
 
+    /// Called when corrupted on-wire bytes arrive that no longer parse as a
+    /// packet. The default silently drops them — the engine never panics on
+    /// malformed input; nodes that account for it (routers) override this.
+    fn on_malformed(&mut self, error: tva_wire::WireError, from: ChannelId, ctx: &mut dyn Ctx) {
+        let _ = (error, from, ctx);
+    }
+
     /// Downcast support for post-simulation inspection.
     fn as_any(&self) -> &dyn Any;
 

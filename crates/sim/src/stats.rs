@@ -17,6 +17,17 @@ pub struct ChannelStats {
     pub tx_pkts: u64,
     /// Bytes serialized onto the wire.
     pub tx_bytes: u64,
+    /// Packets lost on the wire (random loss, outage windows, or a failed
+    /// link) after being serialized.
+    pub lost_pkts: u64,
+    /// Bytes of lost packets.
+    pub lost_bytes: u64,
+    /// Packets whose on-wire bytes were corrupted in transit (delivered or
+    /// not — see `malformed_pkts` for the unparseable subset).
+    pub corrupted_pkts: u64,
+    /// Corrupted packets that no longer parsed and arrived as malformed
+    /// deliveries instead of packets.
+    pub malformed_pkts: u64,
 }
 
 impl ChannelStats {

@@ -9,6 +9,7 @@ use std::collections::{HashMap, VecDeque};
 
 use crate::engine::{Channel, RouteTable, Simulator};
 use crate::event::{ChannelId, NodeId};
+use crate::fault::Impairments;
 use crate::intern::AddrInterner;
 use crate::node::Node;
 use crate::queue::QueueDisc;
@@ -84,6 +85,9 @@ impl TopologyBuilder {
             busy: false,
             in_flight: None,
             wake_at: None,
+            impair: None,
+            up: true,
+            epoch: 0,
             stats: Default::default(),
         });
         let ba = ChannelId(self.channels.len());
@@ -96,59 +100,104 @@ impl TopologyBuilder {
             busy: false,
             in_flight: None,
             wake_at: None,
+            impair: None,
+            up: true,
+            epoch: 0,
             stats: Default::default(),
         });
         LinkHandle { ab, ba }
     }
 
+    /// Configures wire impairments on one channel (see
+    /// [`crate::fault::Impairments`]); a no-op configuration clears them.
+    pub fn impair(&mut self, ch: ChannelId, imp: Impairments) {
+        self.channels[ch.0].impair = if imp.is_noop() { None } else { Some(imp) };
+    }
+
+    /// Applies the same impairments to both directions of a link.
+    pub fn impair_link(&mut self, l: LinkHandle, imp: Impairments) {
+        self.impair(l.ab, imp);
+        self.impair(l.ba, imp);
+    }
+
     /// Finishes construction: interns every bound address (in `bind_addr`
     /// order), computes shortest-path routes for each into dense per-node
-    /// next-hop arrays, and seeds the engine RNG.
+    /// next-hop arrays, and seeds the engine RNGs. The address bindings and
+    /// defaults are retained by the simulator so routes can re-converge
+    /// when links fail at runtime.
     pub fn build(self, seed: u64) -> Simulator {
         let n = self.nodes.len();
-        let mut routes: Vec<RouteTable> = (0..n).map(|_| RouteTable::default()).collect();
         let mut interner = AddrInterner::new();
+        for &(addr, _) in &self.addrs {
+            interner.intern(addr);
+        }
+        let routes = compute_routes(n, &self.channels, &self.addrs, &self.defaults, &interner);
+        Simulator::new(
+            self.nodes,
+            self.channels,
+            routes,
+            interner,
+            self.addrs,
+            self.defaults,
+            seed,
+        )
+    }
+}
 
-        // Incoming channel lists per node (edges reversed for BFS from the
-        // destination outward).
-        let mut in_channels: Vec<Vec<ChannelId>> = vec![Vec::new(); n];
-        for (i, ch) in self.channels.iter().enumerate() {
+/// Computes hop-count shortest-path routes to every bound address, skipping
+/// channels that are currently down. Shared by [`TopologyBuilder::build`]
+/// (where everything is up) and [`Simulator::reconverge`] (where a failure
+/// has just changed the link set).
+pub(crate) fn compute_routes(
+    n: usize,
+    channels: &[Channel],
+    addrs: &[(Addr, NodeId)],
+    defaults: &[(NodeId, ChannelId)],
+    interner: &AddrInterner,
+) -> Vec<RouteTable> {
+    let mut routes: Vec<RouteTable> = (0..n).map(|_| RouteTable::default()).collect();
+
+    // Incoming channel lists per node (edges reversed for BFS from the
+    // destination outward).
+    let mut in_channels: Vec<Vec<ChannelId>> = vec![Vec::new(); n];
+    for (i, ch) in channels.iter().enumerate() {
+        if ch.is_up() {
             in_channels[ch.to.0].push(ChannelId(i));
         }
+    }
 
-        for &(node, ch) in &self.defaults {
-            routes[node.0].default = Some(ch);
-        }
+    for &(node, ch) in defaults {
+        routes[node.0].default = Some(ch);
+    }
 
-        for &(addr, target) in &self.addrs {
-            let idx = interner.intern(addr);
-            // BFS over reversed edges; dist[v] = hops from v to target.
-            let mut dist: Vec<Option<u32>> = vec![None; n];
-            dist[target.0] = Some(0);
-            let mut q = VecDeque::new();
-            q.push_back(target);
-            while let Some(v) = q.pop_front() {
-                let dv = dist[v.0].expect("popped node has distance");
-                // Deterministic order: channel ids ascend.
-                for &ch_id in &in_channels[v.0] {
-                    let ch = &self.channels[ch_id.0];
-                    let u = ch.from;
-                    if dist[u.0].is_none() {
-                        dist[u.0] = Some(dv + 1);
-                        // An entry equal to the node's default route would
-                        // resolve identically through the fallback; prune
-                        // it so stub hosts keep an empty array.
-                        if routes[u.0].default != Some(ch_id) {
-                            routes[u.0].insert(idx, ch_id);
-                        }
-                        q.push_back(u);
+    for &(addr, target) in addrs {
+        let idx = interner.get(addr).expect("bound address is interned");
+        // BFS over reversed edges; dist[v] = hops from v to target.
+        let mut dist: Vec<Option<u32>> = vec![None; n];
+        dist[target.0] = Some(0);
+        let mut q = VecDeque::new();
+        q.push_back(target);
+        while let Some(v) = q.pop_front() {
+            let dv = dist[v.0].expect("popped node has distance");
+            // Deterministic order: channel ids ascend.
+            for &ch_id in &in_channels[v.0] {
+                let ch = &channels[ch_id.0];
+                let u = ch.from;
+                if dist[u.0].is_none() {
+                    dist[u.0] = Some(dv + 1);
+                    // An entry equal to the node's default route would
+                    // resolve identically through the fallback; prune
+                    // it so stub hosts keep an empty array.
+                    if routes[u.0].default != Some(ch_id) {
+                        routes[u.0].insert(idx, ch_id);
                     }
+                    q.push_back(u);
                 }
             }
         }
-
-        Simulator::new(self.nodes, self.channels, routes, interner, seed)
     }
+
+    routes
 }
 
 /// Convenience: a map from address to owning node, for experiments that need

@@ -19,6 +19,10 @@ pub enum TraceKind {
     TxStart,
     /// Arrived at the receiving node.
     Delivered,
+    /// Lost on the wire (random loss, outage window, or failed link).
+    Lost,
+    /// Corrupted on the wire (bits flipped; may or may not still parse).
+    Corrupted,
 }
 
 /// One trace record. Carries a summary, not the packet, so tracing never
@@ -55,6 +59,10 @@ pub struct TraceCounts {
     pub tx_start: u64,
     /// Deliveries.
     pub delivered: u64,
+    /// Wire losses.
+    pub lost: u64,
+    /// Wire corruptions.
+    pub corrupted: u64,
 }
 
 impl TraceCounts {
@@ -65,6 +73,8 @@ impl TraceCounts {
             TraceKind::Dropped => self.dropped += 1,
             TraceKind::TxStart => self.tx_start += 1,
             TraceKind::Delivered => self.delivered += 1,
+            TraceKind::Lost => self.lost += 1,
+            TraceKind::Corrupted => self.corrupted += 1,
         }
     }
 }
@@ -77,6 +87,8 @@ pub fn format_event(ev: &TraceEvent) -> String {
         TraceKind::Dropped => 'd',
         TraceKind::TxStart => '-',
         TraceKind::Delivered => 'r',
+        TraceKind::Lost => 'x',
+        TraceKind::Corrupted => 'c',
     };
     format!(
         "{sigil} {:.6} ch{} {}>{} {}B #{}",

@@ -145,11 +145,16 @@ impl TcpStack {
             }
             SenderEvent::Aborted(reason) => {
                 let conn = self.senders.get(&key).expect("conn exists during event");
-                self.events.push(TcpEvent::TransferAborted {
-                    key,
-                    opened_at: conn.opened_at,
-                    reason,
-                });
+                // An abort after every data byte was acknowledged is a
+                // failed *close* handshake, not a failed transfer — the
+                // completion was already reported; don't contradict it.
+                if conn.completed_at.is_none() {
+                    self.events.push(TcpEvent::TransferAborted {
+                        key,
+                        opened_at: conn.opened_at,
+                        reason,
+                    });
+                }
             }
         }
     }

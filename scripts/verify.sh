@@ -13,4 +13,7 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> fault-injection smoke (loss sweep + mid-transfer link failure)"
+cargo run --release -q -p tva-experiments --bin robustness -- --smoke
+
 echo "verify: OK"
