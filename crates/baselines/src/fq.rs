@@ -10,7 +10,7 @@
 //! These schedulers exist to demonstrate that argument empirically (see the
 //! ablation benches); they are not part of TVA.
 
-use tva_sim::{Drr, Enqueued, QueueDisc, SimTime};
+use tva_sim::{Drr, Enqueued, Pkt, QueueDisc, SimTime};
 use tva_wire::{Addr, Packet};
 
 /// What identifies a "flow" for the fair queuing strawman.
@@ -50,7 +50,7 @@ impl FqScheduler {
 }
 
 impl QueueDisc for FqScheduler {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> Enqueued {
+    fn enqueue(&mut self, pkt: Pkt, _now: SimTime) -> Enqueued {
         let key = self.key_of(&pkt);
         if self.drr.enqueue(key, pkt) {
             Enqueued::Accepted
@@ -59,7 +59,7 @@ impl QueueDisc for FqScheduler {
         }
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _now: SimTime) -> Option<Pkt> {
         self.drr.dequeue()
     }
 
@@ -94,10 +94,10 @@ mod tests {
         let now = SimTime::ZERO;
         // Source 1 floods; source 2 sends 5.
         for _ in 0..50 {
-            q.enqueue(pkt(1, 9, 1000), now);
+            q.enqueue((pkt(1, 9, 1000)).into(), now);
         }
         for _ in 0..5 {
-            q.enqueue(pkt(2, 9, 1000), now);
+            q.enqueue((pkt(2, 9, 1000)).into(), now);
         }
         let mut from2 = 0;
         for _ in 0..10 {
@@ -116,11 +116,11 @@ mod tests {
         let now = SimTime::ZERO;
         for d in 0..10u32 {
             for _ in 0..10 {
-                q.enqueue(pkt(1, 100 + d, 1000), now);
+                q.enqueue((pkt(1, 100 + d, 1000)).into(), now);
             }
         }
         for _ in 0..10 {
-            q.enqueue(pkt(2, 200, 1000), now);
+            q.enqueue((pkt(2, 200, 1000)).into(), now);
         }
         // Over one DRR round of 11 backlogged queues, the legitimate pair
         // gets ~1/11 of service.

@@ -4,8 +4,7 @@
 
 use std::any::Any;
 
-use tva_sim::{ChannelId, Ctx, Node};
-use tva_wire::Packet;
+use tva_sim::{ChannelId, Ctx, Node, Pkt};
 
 /// A plain best-effort IP router.
 #[derive(Default)]
@@ -15,7 +14,7 @@ pub struct LegacyRouterNode {
 }
 
 impl Node for LegacyRouterNode {
-    fn on_packet(&mut self, pkt: Packet, _from: ChannelId, ctx: &mut dyn Ctx) {
+    fn on_packet(&mut self, pkt: Pkt, _from: ChannelId, ctx: &mut dyn Ctx) {
         self.forwarded += 1;
         ctx.send(pkt);
     }
@@ -35,7 +34,7 @@ impl Node for LegacyRouterNode {
 mod tests {
     use super::*;
     use tva_sim::{DropTail, SimDuration, SimTime, SinkNode, TopologyBuilder};
-    use tva_wire::{Addr, PacketId};
+    use tva_wire::{Addr, Packet, PacketId};
 
     #[test]
     fn forwards_by_destination() {

@@ -27,8 +27,8 @@
 use std::any::Any;
 use std::collections::HashMap;
 
-use tva_sim::{ChannelId, Ctx, Node, SimDuration, SimTime, TokenBucket};
-use tva_wire::{Addr, Packet};
+use tva_sim::{ChannelId, Ctx, Node, Pkt, SimDuration, SimTime, TokenBucket};
+use tva_wire::Addr;
 
 /// Timer token for the periodic review.
 pub const TOKEN_REVIEW: u64 = 77;
@@ -266,7 +266,7 @@ impl PushbackRouterNode {
 }
 
 impl Node for PushbackRouterNode {
-    fn on_packet(&mut self, pkt: Packet, from: ChannelId, ctx: &mut dyn Ctx) {
+    fn on_packet(&mut self, pkt: Pkt, from: ChannelId, ctx: &mut dyn Ctx) {
         let now = ctx.now();
         let len = pkt.wire_len();
         if let Some(filter) = self.filters.get_mut(&(from, pkt.dst)) {

@@ -3,7 +3,7 @@
 use std::any::Any;
 
 use tva_crypto::{keyed56, HashInput, SipKey};
-use tva_sim::{ChannelId, Ctx, Node, SimTime};
+use tva_sim::{ChannelId, Ctx, Node, Pkt, SimTime};
 use tva_wire::{Addr, CapPayload, CapValue, Packet, PathId, RequestEntry};
 
 use super::{SiffConfig, MARK_MASK};
@@ -128,7 +128,7 @@ impl SiffRouterNode {
 }
 
 impl Node for SiffRouterNode {
-    fn on_packet(&mut self, mut pkt: Packet, _from: ChannelId, ctx: &mut dyn Ctx) {
+    fn on_packet(&mut self, mut pkt: Pkt, _from: ChannelId, ctx: &mut dyn Ctx) {
         match self.router.process(&mut pkt, ctx.now()) {
             SiffVerdict::Drop => {}
             _ => {

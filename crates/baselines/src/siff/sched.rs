@@ -5,15 +5,15 @@
 
 use std::collections::VecDeque;
 
-use tva_sim::{Enqueued, QueueDisc, SimTime};
+use tva_sim::{Enqueued, Pkt, QueueDisc, SimTime};
 use tva_wire::{CapPayload, Packet};
 
 /// The SIFF egress queue.
 pub struct SiffScheduler {
-    high: VecDeque<Packet>,
+    high: VecDeque<Pkt>,
     high_bytes: u64,
     high_cap: usize,
-    low: VecDeque<Packet>,
+    low: VecDeque<Pkt>,
     low_bytes: u64,
     low_cap: usize,
     /// Packets dropped per class (high, low).
@@ -51,7 +51,7 @@ impl SiffScheduler {
 }
 
 impl QueueDisc for SiffScheduler {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> Enqueued {
+    fn enqueue(&mut self, pkt: Pkt, _now: SimTime) -> Enqueued {
         let len = pkt.wire_len() as u64;
         if Self::is_verified_data(&pkt) {
             if self.high.len() >= self.high_cap {
@@ -71,7 +71,7 @@ impl QueueDisc for SiffScheduler {
         Enqueued::Accepted
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _now: SimTime) -> Option<Pkt> {
         if let Some(p) = self.high.pop_front() {
             self.high_bytes -= p.wire_len() as u64;
             return Some(p);
@@ -112,14 +112,15 @@ mod tests {
     fn data_preempts_explorers_and_legacy() {
         let mut s = SiffScheduler::new(1000, 1000);
         let now = SimTime::ZERO;
-        s.enqueue(pkt(None), now); // legacy
-        s.enqueue(pkt(Some(CapHeader::request())), now); // explorer
+        s.enqueue((pkt(None)).into(), now); // legacy
+        s.enqueue((pkt(Some(CapHeader::request()))).into(), now); // explorer
         s.enqueue(
             pkt(Some(CapHeader::regular_with_caps(
                 FlowNonce::new(0),
                 Grant::from_parts(1, 1),
                 vec![],
-            ))),
+            )))
+            .into(),
             now,
         );
         let first = s.dequeue(now).unwrap();
@@ -139,9 +140,9 @@ mod tests {
         // weakness Figure 8/9 shows for SIFF.
         let mut s = SiffScheduler::new(1000, 2);
         let now = SimTime::ZERO;
-        assert!(s.enqueue(pkt(None), now).is_accepted());
-        assert!(s.enqueue(pkt(None), now).is_accepted());
-        assert_eq!(s.enqueue(pkt(Some(CapHeader::request())), now), Enqueued::Dropped);
+        assert!(s.enqueue((pkt(None)).into(), now).is_accepted());
+        assert!(s.enqueue((pkt(None)).into(), now).is_accepted());
+        assert_eq!(s.enqueue((pkt(Some(CapHeader::request()))).into(), now), Enqueued::Dropped);
         assert_eq!(s.drops[1], 1);
     }
 }

@@ -11,7 +11,7 @@ use tva_core::policy::{GrantPolicy, RequestInfo};
 use tva_sim::{SimDuration, SimTime};
 use tva_transport::Shim;
 use tva_wire::{
-    Addr, CapHeader, CapPayload, CapValue, FlowNonce, Grant, Packet, PacketId, PathId, ReturnInfo,
+    Addr, CapHeader, CapList, CapPayload, FlowNonce, Grant, Packet, PacketId, PathId, ReturnInfo,
 };
 
 /// A dummy grant carried in headers; SIFF routers ignore (N, T).
@@ -21,9 +21,9 @@ fn dummy_grant() -> Grant {
 
 struct SiffPeer {
     /// Marks we hold for sending to this peer.
-    marks: Option<(Vec<CapValue>, SimTime)>,
+    marks: Option<(CapList, SimTime)>,
     /// Marks to return to this peer (destination role), sticky like TVA's.
-    pending_return: Option<(Vec<CapValue>, SimTime)>,
+    pending_return: Option<(CapList, SimTime)>,
 }
 
 /// SIFF host shim.
@@ -94,7 +94,7 @@ impl Shim for SiffShim {
         let st = self.peer(pkt.dst);
         let mut header = match &st.marks {
             Some((marks, acquired)) if !force_explore && now.since(*acquired) < refresh => {
-                CapHeader::regular_with_caps(FlowNonce::new(0), dummy_grant(), marks.clone())
+                CapHeader::regular_with_caps(FlowNonce::new(0), dummy_grant(), *marks)
             }
             _ => {
                 if !force_explore {
@@ -110,7 +110,7 @@ impl Shim for SiffShim {
             if now.since(*granted_at) < SimDuration::from_secs(30) {
                 header.return_info = Some(ReturnInfo::Capabilities {
                     grant: dummy_grant(),
-                    caps: marks.clone(),
+                    caps: *marks,
                 });
             } else {
                 st.pending_return = None;
@@ -121,14 +121,14 @@ impl Shim for SiffShim {
 
     fn on_receive(&mut self, pkt: &mut Packet, now: SimTime) -> bool {
         let src = pkt.src;
-        let Some(header) = pkt.cap.clone() else { return true };
+        let Some(header) = pkt.cap.as_ref() else { return true };
 
         if let Some(ReturnInfo::Capabilities { caps, .. }) = &header.return_info {
             if !caps.is_empty() {
                 let st = self.peer(src);
                 let dup = st.marks.as_ref().is_some_and(|(m, _)| m == caps);
                 if !dup {
-                    st.marks = Some((caps.clone(), now));
+                    st.marks = Some((*caps, now));
                     self.marks_acquired += 1;
                 }
             }
@@ -143,7 +143,7 @@ impl Shim for SiffShim {
                 let info = RequestInfo { src, path_id: PathId::NONE, initiated };
                 match self.policy.decide(info, now) {
                     Some(_) => {
-                        let marks: Vec<CapValue> = entries.iter().map(|e| e.precap).collect();
+                        let marks: CapList = entries.iter().map(|e| e.precap).collect();
                         if !marks.is_empty() {
                             self.peer(src).pending_return = Some((marks, now));
                             let is_syn = pkt.tcp.is_some_and(|t| t.flags.syn);
@@ -189,6 +189,7 @@ impl Shim for SiffShim {
 mod tests {
     use super::*;
     use tva_core::policy::AllowAll;
+    use tva_wire::CapValue;
 
     const ME: Addr = Addr::new(1, 0, 0, 1);
     const PEER: Addr = Addr::new(2, 0, 0, 2);
@@ -218,7 +219,7 @@ mod tests {
         let mut h = CapHeader::regular_with_caps(FlowNonce::new(0), dummy_grant(), vec![]);
         h.return_info = Some(ReturnInfo::Capabilities {
             grant: dummy_grant(),
-            caps: vec![CapValue::new(0, 2)],
+            caps: [CapValue::new(0, 2)].into(),
         });
         reply.cap = Some(h);
         s.on_receive(&mut reply, t0);

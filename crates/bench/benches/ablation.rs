@@ -86,7 +86,7 @@ fn bench_drr_vs_fifo(c: &mut Criterion) {
             || {
                 let mut d: Drr<Addr> = Drr::new(1500, 1 << 20, 128);
                 for i in 0..640 {
-                    d.enqueue(Addr(i % 64), data_packet(1, i % 64));
+                    d.enqueue(Addr(i % 64), data_packet(1, i % 64).into());
                 }
                 d
             },
@@ -103,7 +103,7 @@ fn bench_drr_vs_fifo(c: &mut Criterion) {
             || {
                 let mut q = tva_sim::DropTail::new(1 << 30);
                 for i in 0..640 {
-                    q.enqueue(data_packet(1, i % 64), SimTime::ZERO);
+                    q.enqueue(data_packet(1, i % 64).into(), SimTime::ZERO);
                 }
                 q
             },

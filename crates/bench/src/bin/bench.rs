@@ -3,9 +3,12 @@
 //! Measures two things and records them in `BENCH_sim.json`:
 //!
 //! * **engine throughput** — events/sec dispatching a 200-simulated-second
-//!   5-user TVA dumbbell (best of three runs), and
+//!   5-user TVA dumbbell (best of three runs),
 //! * **figure wall time** — seconds to run the Figure 8 quick sweep grid
-//!   (the per-figure scenario cost every reproduction pays).
+//!   (the per-figure scenario cost every reproduction pays), and
+//! * **scale headline** — events/sec and peak RSS for the quick (~10k-host)
+//!   variant of the internet-scale tree (`scale_*` keys; the full 100k-host
+//!   run stays in the separate `scale` binary).
 //!
 //! If `BENCH_sim.json` already exists the new numbers are gated against it:
 //! a >10% drop in events/sec or a >10% rise in fig8 wall time refuses to
@@ -18,13 +21,30 @@
 use std::time::Instant;
 
 use serde_json::{Map, Value};
+use tva_bench::alloc;
 use tva_bench::dumbbell::run_dumbbell;
+use tva_bench::scale::{run_scale, ScaleConfig};
 use tva_experiments::{fig8, run_all, Fidelity};
 
 /// Fractional change beyond which the gate refuses without `--force`.
 const GATE: f64 = 0.10;
 const ENGINE_SIM_SECS: u64 = 200;
+/// Default engine repetitions (best-of). `TVA_BENCH_ENGINE_REPS` overrides
+/// — noisy shared machines want more reps for a stable minimum.
 const ENGINE_REPS: usize = 3;
+
+fn engine_reps() -> usize {
+    match std::env::var("TVA_BENCH_ENGINE_REPS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("warning: ignoring invalid TVA_BENCH_ENGINE_REPS={v:?}");
+                ENGINE_REPS
+            }
+        },
+        Err(_) => ENGINE_REPS,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,10 +57,11 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
 
-    eprintln!("engine: {ENGINE_REPS}x {ENGINE_SIM_SECS}s dumbbell ...");
+    let reps = engine_reps();
+    eprintln!("engine: {reps}x {ENGINE_SIM_SECS}s dumbbell ...");
     let mut events = 0u64;
     let mut best_wall = f64::INFINITY;
-    for rep in 0..ENGINE_REPS {
+    for rep in 0..reps {
         let t0 = Instant::now();
         let run = run_dumbbell(ENGINE_SIM_SECS);
         let wall = t0.elapsed().as_secs_f64();
@@ -49,7 +70,36 @@ fn main() {
         best_wall = best_wall.min(wall);
     }
     let events_per_sec = events as f64 / best_wall;
-    eprintln!("engine: {events_per_sec:.0} events/sec (best of {ENGINE_REPS})");
+    eprintln!("engine: {events_per_sec:.0} events/sec (best of {reps})");
+
+    // Steady-state allocation accounting: the reps above warmed the packet
+    // pool and every long-lived table, so one more run measures only what
+    // the data path itself allocates. Needs the `alloc-count` feature
+    // (scripts/bench.sh enables it); skipped — not reported as 0 — without.
+    let allocs_per_packet = alloc::counting_enabled().then(|| {
+        let before = alloc::alloc_count();
+        let run = run_dumbbell(ENGINE_SIM_SECS);
+        let delta = alloc::alloc_count() - before;
+        let per_pkt = delta as f64 / run.bottleneck_tx_pkts.max(1) as f64;
+        eprintln!(
+            "allocs: {delta} in steady-state run / {} bottleneck pkts = {per_pkt:.4}/pkt",
+            run.bottleneck_tx_pkts
+        );
+        per_pkt
+    });
+
+    // The internet-scale tree, CI-sized: tracks that a 10k-host topology
+    // still builds and dispatches at full speed. (`--engine-only` skips it
+    // along with the sweep.)
+    let scale = (!engine_only).then(|| {
+        eprintln!("scale quick: {} hosts ...", ScaleConfig::quick().hosts);
+        let run = run_scale(ScaleConfig::quick());
+        eprintln!(
+            "scale quick: {} events in {:.2}s = {:.0} events/s",
+            run.events, run.run_s, run.events_per_sec
+        );
+        run
+    });
 
     let (fig8_runs, fig8_wall) = if engine_only {
         (0usize, None)
@@ -66,11 +116,20 @@ fn main() {
     };
 
     let mut kept_fig8 = None;
+    let mut kept_allocs = None;
+    let mut kept_scale = None;
     if let Ok(old) = std::fs::read_to_string(&out) {
         if engine_only {
-            // Carry the fig8 baseline forward so an engine-only run
-            // doesn't erase it.
+            // Carry the fig8 and scale baselines forward so an engine-only
+            // run doesn't erase them.
             kept_fig8 = metric(&old, "fig8_runs").zip(metric(&old, "fig8_wall_s"));
+            kept_scale =
+                metric(&old, "scale_hosts").zip(metric(&old, "scale_events_per_sec"));
+        }
+        if allocs_per_packet.is_none() {
+            // Same for the allocation metric when this build lacks the
+            // `alloc-count` feature.
+            kept_allocs = metric(&old, "allocs_per_packet");
         }
         let mut regressions = Vec::new();
         if let Some(old_eps) = metric(&old, "engine_events_per_sec") {
@@ -87,6 +146,16 @@ fn main() {
                 regressions.push(format!(
                     "fig8 wall: {old_wall:.1}s -> {new_wall:.1}s ({:+.1}%)",
                     (new_wall / old_wall - 1.0) * 100.0
+                ));
+            }
+        }
+        if let (Some(old_app), Some(new_app)) = (metric(&old, "allocs_per_packet"), allocs_per_packet)
+        {
+            // The baseline sits near zero, so a pure ratio gate would trip
+            // on dust; allow the usual 10% plus a small absolute floor.
+            if new_app > old_app * (1.0 + GATE) + 0.05 {
+                regressions.push(format!(
+                    "allocs/packet: {old_app:.4} -> {new_app:.4}"
                 ));
             }
         }
@@ -107,12 +176,35 @@ fn main() {
     map.insert("engine_events_per_sec".into(), Value::Number(events_per_sec.round()));
     map.insert("engine_sim_secs".into(), Value::Number(ENGINE_SIM_SECS as f64));
     map.insert("engine_wall_s".into(), Value::Number((best_wall * 1000.0).round() / 1000.0));
+    if let Some(app) = allocs_per_packet {
+        map.insert("allocs_per_packet".into(), Value::Number((app * 10_000.0).round() / 10_000.0));
+    } else if let Some(app) = kept_allocs {
+        map.insert("allocs_per_packet".into(), Value::Number(app));
+    }
+    if let Some(kb) = alloc::peak_rss_kb() {
+        map.insert("peak_rss_kb".into(), Value::Number(kb as f64));
+    }
     if let Some(wall) = fig8_wall {
         map.insert("fig8_runs".into(), Value::Number(fig8_runs as f64));
         map.insert("fig8_wall_s".into(), Value::Number((wall * 1000.0).round() / 1000.0));
     } else if let Some((runs, wall)) = kept_fig8 {
         map.insert("fig8_runs".into(), Value::Number(runs));
         map.insert("fig8_wall_s".into(), Value::Number(wall));
+    }
+    if let Some(run) = &scale {
+        map.insert("scale_hosts".into(), Value::Number(run.hosts as f64));
+        map.insert("scale_events".into(), Value::Number(run.events as f64));
+        map.insert("scale_events_per_sec".into(), Value::Number(run.events_per_sec.round()));
+        map.insert(
+            "scale_build_s".into(),
+            Value::Number((run.build_s * 1000.0).round() / 1000.0),
+        );
+        if let Some(kb) = run.peak_rss_kb {
+            map.insert("scale_peak_rss_kb".into(), Value::Number(kb as f64));
+        }
+    } else if let Some((hosts, eps)) = kept_scale {
+        map.insert("scale_hosts".into(), Value::Number(hosts));
+        map.insert("scale_events_per_sec".into(), Value::Number(eps));
     }
     let json = serde_json::to_string_pretty(&Value::Object(map)).expect("serializable");
     std::fs::write(&out, json + "\n").expect("write baseline");

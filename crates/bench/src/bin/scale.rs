@@ -1,0 +1,111 @@
+//! Internet-scale topology benchmark: a fig11-style multi-path tree grown
+//! to ~100k hosts / 10k attackers, reporting engine throughput and memory
+//! headline numbers into `results/scale.{tsv,json}`.
+//!
+//! Flags:
+//!
+//! * `--quick` — the CI-sized variant (~10k hosts, same shape)
+//! * `--hosts N` / `--attackers N` / `--secs N` — override the population
+//!   and simulated horizon
+//! * `--out-dir DIR` — output directory (default `results`)
+
+use serde_json::{Map, Value};
+use tva_bench::scale::{run_scale, ScaleConfig, ScaleRun};
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    let v = args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))?;
+    match v.parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("error: {flag} wants a number, got {v:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = if args.iter().any(|a| a == "--quick") {
+        ScaleConfig::quick()
+    } else {
+        ScaleConfig::full()
+    };
+    if let Some(n) = flag_value(&args, "--hosts") {
+        cfg.hosts = n as usize;
+        cfg.attackers = cfg.attackers.min(cfg.hosts / 10);
+        cfg.active_users = cfg.active_users.min(cfg.hosts / 20);
+    }
+    if let Some(n) = flag_value(&args, "--attackers") {
+        cfg.attackers = n as usize;
+    }
+    if let Some(n) = flag_value(&args, "--secs") {
+        cfg.sim_secs = n;
+    }
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string());
+
+    eprintln!(
+        "scale: {} hosts / {} attackers / {} active users, {}s simulated ...",
+        cfg.hosts, cfg.attackers, cfg.active_users, cfg.sim_secs
+    );
+    let run = run_scale(cfg);
+    eprintln!(
+        "scale: built {} nodes in {:.2}s; {} events in {:.2}s = {:.0} events/s; \
+         peak RSS {}",
+        run.hosts + run.routers + 1,
+        run.build_s,
+        run.events,
+        run.run_s,
+        run.events_per_sec,
+        run.peak_rss_kb.map_or("n/a".into(), |kb| format!("{:.1} MB", kb as f64 / 1024.0)),
+    );
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let tsv = format!("{out_dir}/scale.tsv");
+    let json = format!("{out_dir}/scale.json");
+    std::fs::write(&tsv, tsv_report(&run)).expect("write scale.tsv");
+    std::fs::write(&json, json_report(&run)).expect("write scale.json");
+    println!("wrote {tsv} and {json}");
+}
+
+fn tsv_report(r: &ScaleRun) -> String {
+    let mut s = String::from(
+        "hosts\tattackers\trouters\tevents\tbuild_s\trun_s\tevents_per_sec\
+         \tbottleneck_tx_pkts\tattack_pkts_emitted\tpeak_rss_kb\n",
+    );
+    s.push_str(&format!(
+        "{}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{:.0}\t{}\t{}\t{}\n",
+        r.hosts,
+        r.attackers,
+        r.routers,
+        r.events,
+        r.build_s,
+        r.run_s,
+        r.events_per_sec,
+        r.bottleneck_tx_pkts,
+        r.attack_pkts_emitted,
+        r.peak_rss_kb.map_or_else(|| "-".into(), |kb| kb.to_string()),
+    ));
+    s
+}
+
+fn json_report(r: &ScaleRun) -> String {
+    let mut map = Map::new();
+    map.insert("hosts".into(), Value::Number(r.hosts as f64));
+    map.insert("attackers".into(), Value::Number(r.attackers as f64));
+    map.insert("routers".into(), Value::Number(r.routers as f64));
+    map.insert("events".into(), Value::Number(r.events as f64));
+    map.insert("build_s".into(), Value::Number((r.build_s * 1000.0).round() / 1000.0));
+    map.insert("run_s".into(), Value::Number((r.run_s * 1000.0).round() / 1000.0));
+    map.insert("events_per_sec".into(), Value::Number(r.events_per_sec.round()));
+    map.insert("bottleneck_tx_pkts".into(), Value::Number(r.bottleneck_tx_pkts as f64));
+    map.insert("attack_pkts_emitted".into(), Value::Number(r.attack_pkts_emitted as f64));
+    if let Some(kb) = r.peak_rss_kb {
+        map.insert("peak_rss_kb".into(), Value::Number(kb as f64));
+    }
+    serde_json::to_string_pretty(&Value::Object(map)).expect("serializable") + "\n"
+}

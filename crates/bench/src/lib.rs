@@ -12,10 +12,16 @@
 //! ratios* between packet types — the basis of the paper's "gigabit on
 //! commodity hardware" argument — are what the harness checks.
 
-#![forbid(unsafe_code)]
+// `alloc-count` needs one `unsafe impl GlobalAlloc` (in `alloc::counting`);
+// everything else stays unsafe-free, enforced crate-wide in the default
+// build and by `deny` outside that module when the feature is on.
+#![cfg_attr(not(feature = "alloc-count"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-count", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod dumbbell;
+pub mod scale;
 
 use tva_core::{capability, RouterConfig, TvaRouter, Verdict};
 use tva_sim::{ChannelId, SimTime};

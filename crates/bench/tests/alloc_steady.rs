@@ -1,0 +1,48 @@
+//! Steady-state allocation discipline for the packet data path.
+//!
+//! Once the packet pool and the long-lived tables (routing, flow cache,
+//! scheduler queues, connection maps) are warm, forwarding a packet must
+//! not touch the heap: the pool recycles packet storage, DRR sub-queues
+//! recycle their ring buffers, and the TCP stack recycles connection maps
+//! across transfers. A warm-up dumbbell run primes everything; a second,
+//! identical run is then measured.
+//!
+//! Only meaningful with the counting global allocator installed:
+//! `cargo test -p tva-bench --features alloc-count --test alloc_steady`.
+#![cfg(feature = "alloc-count")]
+
+use tva_bench::alloc;
+use tva_bench::dumbbell::run_dumbbell;
+use tva_sim::pool_stats;
+
+#[test]
+fn steady_state_forwarding_does_not_allocate() {
+    // Warm-up: first run allocates the pool, table capacities, and spare
+    // buffers (both runs are deterministic and identical).
+    run_dumbbell(50);
+
+    let pool_before = pool_stats();
+    let allocs_before = alloc::alloc_count();
+    let run = run_dumbbell(50);
+    let allocs = alloc::alloc_count() - allocs_before;
+    let pool = pool_stats();
+
+    // The packet pool itself must be perfectly warm: every packet of the
+    // measured run reuses storage from the first.
+    assert_eq!(pool.allocs, pool_before.allocs, "no packet-storage allocations once warm");
+    assert!(
+        pool.reuses > pool_before.reuses,
+        "the measured run must actually have recycled packets"
+    );
+
+    // Global heap traffic: zero per forwarded packet (a handful of
+    // simulation-setup allocations amortized over tens of thousands of
+    // packets; anything per-packet would push this over 1).
+    let per_packet = allocs as f64 / run.bottleneck_tx_pkts.max(1) as f64;
+    assert!(
+        per_packet < 0.1,
+        "steady-state allocations per forwarded packet must round to zero, \
+         got {allocs} allocs / {} pkts = {per_packet:.3}",
+        run.bottleneck_tx_pkts
+    );
+}

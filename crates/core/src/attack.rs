@@ -126,7 +126,7 @@ impl AuthorizedFlooder {
             };
             self.shim.on_send(&mut pkt, now);
             let len = pkt.wire_len();
-            ctx.send(pkt);
+            ctx.send_new(pkt);
             self.flooded += 1;
             self.flooded_bytes += len as u64;
             // Jittered pacing (see FloodNode for why jitter matters).
@@ -148,7 +148,7 @@ impl AuthorizedFlooder {
                     payload_len: 0,
                 };
                 self.shim.on_send(&mut pkt, now);
-                ctx.send(pkt);
+                ctx.send_new(pkt);
                 // Unanswered so far: back off.
                 self.request_interval =
                     (self.request_interval * 2).min(SimDuration::from_secs(60));
@@ -159,12 +159,12 @@ impl AuthorizedFlooder {
 }
 
 impl Node for AuthorizedFlooder {
-    fn on_packet(&mut self, mut pkt: Packet, _from: ChannelId, ctx: &mut dyn Ctx) {
+    fn on_packet(&mut self, mut pkt: tva_sim::Pkt, _from: ChannelId, ctx: &mut dyn Ctx) {
         // Harvest granted capabilities (and anything else the shim tracks).
         let _ = self.shim.on_receive(&mut pkt, ctx.now());
         for mut out in self.shim.take_outbox() {
             out.id = ctx.alloc_packet_id();
-            ctx.send(out);
+            ctx.send_new(out);
         }
         // If we just became authorized, start (or resume) flooding now —
         // but never grow a second pacing chain.
@@ -225,13 +225,13 @@ impl SpoofColluder {
 }
 
 impl Node for SpoofColluder {
-    fn on_packet(&mut self, pkt: Packet, _from: ChannelId, ctx: &mut dyn Ctx) {
+    fn on_packet(&mut self, pkt: tva_sim::Pkt, _from: ChannelId, ctx: &mut dyn Ctx) {
         use tva_wire::{CapHeader, CapPayload, ReturnInfo};
         let Some(header) = pkt.cap.as_ref() else { return };
         // Harvest pre-capabilities from requests and renewal packets.
         let precaps: Vec<tva_wire::CapValue> = match &header.payload {
             CapPayload::Request { entries } => entries.iter().map(|e| e.precap).collect(),
-            CapPayload::Regular { renewal: true, caps: Some((_, list)), .. } => list.clone(),
+            CapPayload::Regular { renewal: true, caps: Some((_, list)), .. } => list.to_vec(),
             CapPayload::Regular { .. } => {
                 self.absorbed += pkt.wire_len() as u64;
                 return;
@@ -240,7 +240,7 @@ impl Node for SpoofColluder {
         if precaps.is_empty() {
             return;
         }
-        let caps: Vec<tva_wire::CapValue> = precaps
+        let caps: tva_wire::CapList = precaps
             .iter()
             .map(|&pc| crate::capability::mint_cap(pc, self.grant))
             .collect();
@@ -249,9 +249,9 @@ impl Node for SpoofColluder {
         for &accomplice in &self.accomplices {
             let mut reply = CapHeader::request();
             reply.return_info =
-                Some(ReturnInfo::Capabilities { grant: self.grant, caps: caps.clone() });
+                Some(ReturnInfo::Capabilities { grant: self.grant, caps });
             let id = ctx.alloc_packet_id();
-            ctx.send(Packet {
+            ctx.send_new(Packet {
                 id,
                 src: self.local,
                 dst: accomplice,

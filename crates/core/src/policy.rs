@@ -6,7 +6,6 @@
 //! > of the senders misbehave … that sender can be temporarily blacklisted
 //! > and its capability will soon expire."
 
-use std::collections::HashMap;
 
 use tva_sim::SimTime;
 use tva_wire::{Addr, Grant, PathId};
@@ -90,7 +89,7 @@ pub struct ServerPolicy {
     /// Default grant for well-behaved (or not-yet-observed) sources.
     pub grant: Grant,
     /// Blacklist: source → expiry time.
-    blacklist: HashMap<Addr, SimTime>,
+    blacklist: tva_wire::DetHashMap<Addr, SimTime>,
     /// How long a blacklist entry lasts.
     pub blacklist_duration: tva_sim::SimDuration,
     single: SingleGrant,
@@ -104,7 +103,7 @@ impl ServerPolicy {
     pub fn new(grant: Grant, blacklist_duration: tva_sim::SimDuration) -> Self {
         ServerPolicy {
             grant,
-            blacklist: HashMap::new(),
+            blacklist: tva_wire::DetHashMap::default(),
             blacklist_duration,
             single: SingleGrant::default(),
             refusals: 0,

@@ -287,7 +287,7 @@ impl TvaRouterNode {
 }
 
 impl Node for TvaRouterNode {
-    fn on_packet(&mut self, mut pkt: Packet, from: ChannelId, ctx: &mut dyn Ctx) {
+    fn on_packet(&mut self, mut pkt: tva_sim::Pkt, from: ChannelId, ctx: &mut dyn Ctx) {
         self.router.process(&mut pkt, from, ctx.now());
         ctx.send(pkt);
     }

@@ -13,7 +13,7 @@
 //! packets and marked failures as demoted, exactly as the wire format
 //! intends — an independent box implementing Figure 2 needs nothing else.
 
-use tva_sim::{Drr, Enqueued, QueueDisc, SimDuration, SimTime};
+use tva_sim::{Drr, Enqueued, Pkt, QueueDisc, SimDuration, SimTime};
 use tva_wire::{Addr, CapPayload, Packet, PathId};
 
 use crate::config::{RegularQueueKey, RouterConfig};
@@ -98,7 +98,7 @@ pub struct TvaScheduler {
     requests: Drr<PathId>,
     regular: Drr<Addr>,
     regular_key: RegularQueueKey,
-    legacy: std::collections::VecDeque<Packet>,
+    legacy: std::collections::VecDeque<Pkt>,
     legacy_bytes: u64,
     legacy_cap_pkts: usize,
     gate: PacedGate,
@@ -141,7 +141,7 @@ impl TvaScheduler {
         }
     }
 
-    fn enqueue_legacy(&mut self, pkt: Packet) -> Enqueued {
+    fn enqueue_legacy(&mut self, pkt: Pkt) -> Enqueued {
         let len = pkt.wire_len() as u64;
         if self.legacy.len() >= self.legacy_cap_pkts {
             self.stats.legacy_dropped += 1;
@@ -173,7 +173,7 @@ enum Class {
 }
 
 impl QueueDisc for TvaScheduler {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> Enqueued {
+    fn enqueue(&mut self, pkt: Pkt, _now: SimTime) -> Enqueued {
         match classify(&pkt) {
             Class::Request => {
                 let key = Self::request_key(&pkt);
@@ -200,7 +200,7 @@ impl QueueDisc for TvaScheduler {
         }
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Pkt> {
         // Requests first, within their rate budget.
         if self.requests.len_pkts() > 0 && self.gate.ready(now) {
             if let Some(pkt) = self.requests.dequeue() {
@@ -296,8 +296,8 @@ mod tests {
     fn regular_beats_legacy() {
         let mut s = TvaScheduler::new(10_000_000, &cfg());
         let now = SimTime::ZERO;
-        s.enqueue(legacy_pkt(500), now);
-        s.enqueue(regular_pkt(Addr::new(9, 9, 9, 9), 500), now);
+        s.enqueue((legacy_pkt(500)).into(), now);
+        s.enqueue((regular_pkt(Addr::new(9, 9, 9, 9), 500)).into(), now);
         let first = s.dequeue(now).unwrap();
         assert!(first.cap.is_some(), "regular packet must go first");
         assert!(s.dequeue(now).unwrap().cap.is_none());
@@ -307,8 +307,8 @@ mod tests {
     fn requests_beat_regular_within_budget() {
         let mut s = TvaScheduler::new(10_000_000, &cfg());
         let now = SimTime::ZERO;
-        s.enqueue(regular_pkt(Addr::new(9, 9, 9, 9), 500), now);
-        s.enqueue(request_pkt(5), now);
+        s.enqueue((regular_pkt(Addr::new(9, 9, 9, 9), 500)).into(), now);
+        s.enqueue((request_pkt(5)).into(), now);
         let first = s.dequeue(now).unwrap();
         assert!(
             matches!(first.cap.as_ref().unwrap().payload, CapPayload::Request { .. }),
@@ -332,10 +332,10 @@ mod tests {
         // so their byte volume dwarfs the 1% budget), then dequeue in
         // link-paced steps for 10 simulated seconds.
         for i in 0..4000 {
-            s.enqueue(request_pkt_sized((i % 7) as u16 + 1, 200), now);
+            s.enqueue((request_pkt_sized((i % 7) as u16 + 1, 200)).into(), now);
         }
         for _ in 0..13_000 {
-            s.enqueue(regular_pkt(Addr::new(9, 9, 9, 9), 988), now);
+            s.enqueue((regular_pkt(Addr::new(9, 9, 9, 9), 988)).into(), now);
         }
         let mut req_bytes = 0u64;
         let mut total = 0u64;
@@ -371,10 +371,10 @@ mod tests {
         let mut s = TvaScheduler::new(10_000_000, &cfg);
         let now = SimTime::ZERO;
         for _ in 0..100 {
-            s.enqueue(request_pkt(1), now);
+            s.enqueue((request_pkt(1)).into(), now);
         }
         for _ in 0..5 {
-            s.enqueue(request_pkt(2), now);
+            s.enqueue((request_pkt(2)).into(), now);
         }
         // Dequeue up to 50 requests (gating as needed): DRR must serve all
         // 5 light-path requests within the first round despite the flood.
@@ -405,8 +405,8 @@ mod tests {
         let now = SimTime::ZERO;
         let mut p = regular_pkt(Addr::new(9, 9, 9, 9), 100);
         p.cap.as_mut().unwrap().demoted = true;
-        s.enqueue(p, now);
-        s.enqueue(regular_pkt(Addr::new(8, 8, 8, 8), 100), now);
+        s.enqueue((p).into(), now);
+        s.enqueue((regular_pkt(Addr::new(8, 8, 8, 8), 100)).into(), now);
         let first = s.dequeue(now).unwrap();
         assert!(!first.is_demoted(), "valid regular beats demoted");
         assert!(s.dequeue(now).unwrap().is_demoted());
@@ -423,10 +423,10 @@ mod tests {
         let heavy = Addr::new(9, 9, 9, 9);
         let light = Addr::new(8, 8, 8, 8);
         for _ in 0..100 {
-            s.enqueue(regular_pkt(heavy, 980), now);
+            s.enqueue((regular_pkt(heavy, 980)).into(), now);
         }
         for _ in 0..20 {
-            s.enqueue(regular_pkt(light, 980), now);
+            s.enqueue((regular_pkt(light, 980)).into(), now);
         }
         let mut counts = (0, 0);
         for _ in 0..40 {
@@ -451,11 +451,11 @@ mod tests {
         let now = SimTime::ZERO;
         // A request bigger than the 100-byte burst drives the balance
         // negative once dequeued.
-        s.enqueue(request_pkt_sized(1, 200), now);
+        s.enqueue((request_pkt_sized(1, 200)).into(), now);
         // Drain the burst.
         let p = s.dequeue(now).unwrap();
         assert!(p.cap.is_some());
-        s.enqueue(request_pkt_sized(1, 200), now);
+        s.enqueue((request_pkt_sized(1, 200)).into(), now);
         // Balance is now negative; dequeue yields nothing and next_ready
         // points to the future.
         assert!(s.dequeue(now).is_none());

@@ -13,12 +13,11 @@
 //!   response will carry them), echo demotion events, and report flooding
 //!   sources to the policy for blacklisting.
 
-use std::collections::HashMap;
-
 use tva_sim::{SimDuration, SimTime};
 use tva_transport::Shim;
 use tva_wire::{
-    Addr, CapHeader, CapPayload, CapValue, FlowNonce, Grant, Packet, PacketId, PathId, ReturnInfo,
+    Addr, CapHeader, CapList, CapPayload, CapValue, DetHashMap, FlowNonce, Grant, Packet,
+    PacketId, PathId, ReturnInfo,
 };
 
 use crate::capability::mint_cap;
@@ -29,7 +28,7 @@ use crate::policy::{GrantPolicy, RequestInfo};
 #[derive(Debug, Clone)]
 pub struct SendCaps {
     /// One capability per router on the path, in path order.
-    pub caps: Vec<CapValue>,
+    pub caps: CapList,
     /// The authorized budget.
     pub grant: Grant,
     /// The flow nonce chosen when these capabilities were installed.
@@ -62,7 +61,7 @@ struct PeerState {
     requested_at: Option<SimTime>,
     /// Return capabilities to piggyback toward this peer (sticky until we
     /// see the peer actually use them).
-    pending_return: Option<(Grant, Vec<CapValue>, SimTime)>,
+    pending_return: Option<(Grant, CapList, SimTime)>,
     /// Echo a demotion notice on the next packet toward this peer.
     demote_echo: bool,
     /// Misbehavior estimator: window start, bytes received in it, and
@@ -100,7 +99,7 @@ pub struct TvaHostShim {
     local: Addr,
     cfg: HostConfig,
     policy: Box<dyn GrantPolicy>,
-    peers: HashMap<Addr, PeerState>,
+    peers: DetHashMap<Addr, PeerState>,
     outbox: Vec<Packet>,
     /// xorshift64 state for nonce generation (deterministic per host).
     rng: u64,
@@ -115,7 +114,7 @@ impl TvaHostShim {
             local,
             cfg,
             policy,
-            peers: HashMap::new(),
+            peers: DetHashMap::default(),
             outbox: Vec::new(),
             rng: (local.to_u32() as u64) << 16 | 0x9E37,
             stats: ShimStats::default(),
@@ -182,9 +181,9 @@ impl TvaHostShim {
 
         let header = if need_renew {
             self.stats.renewals_sent += 1;
-            CapHeader::renewal(caps.nonce, caps.grant, caps.caps.clone())
+            CapHeader::renewal(caps.nonce, caps.grant, caps.caps)
         } else if cache_cold {
-            CapHeader::regular_with_caps(caps.nonce, caps.grant, caps.caps.clone())
+            CapHeader::regular_with_caps(caps.nonce, caps.grant, caps.caps)
         } else {
             CapHeader::regular_nonce_only(caps.nonce)
         };
@@ -220,7 +219,7 @@ impl TvaHostShim {
                 // capability router) yields nothing to return — an empty
                 // list on the wire would read as a refusal (§4.2).
                 if !precaps.is_empty() {
-                    let caps: Vec<CapValue> =
+                    let caps: CapList =
                         precaps.iter().map(|&pc| mint_cap(pc, grant)).collect();
                     let st = self.peers.entry(src).or_default();
                     st.pending_return = Some((grant, caps, now));
@@ -275,7 +274,7 @@ impl TvaHostShim {
                 st.pending_return = None;
             } else {
                 header.return_info =
-                    Some(ReturnInfo::Capabilities { grant: *grant, caps: caps.clone() });
+                    Some(ReturnInfo::Capabilities { grant: *grant, caps: *caps });
                 return;
             }
         }
@@ -304,9 +303,12 @@ impl TvaHostShim {
     /// The full outgoing-packet decoration (header choice + return info).
     fn decorate(&mut self, pkt: &mut Packet, now: SimTime) {
         let base = pkt.wire_len();
-        let mut header = self.choose_header(pkt.dst, base, now);
-        self.attach_return(pkt.dst, &mut header, now);
-        pkt.cap = Some(header);
+        let dst = pkt.dst;
+        // Write the header straight into the packet (one move of the large
+        // inline-list header), then attach return info in place.
+        pkt.cap = Some(self.choose_header(dst, base, now));
+        let header = pkt.cap.as_mut().expect("just set");
+        self.attach_return(dst, header, now);
     }
 }
 
@@ -317,7 +319,7 @@ impl Shim for TvaHostShim {
 
     fn on_receive(&mut self, pkt: &mut Packet, now: SimTime) -> bool {
         let src = pkt.src;
-        let Some(header) = pkt.cap.clone() else {
+        let Some(header) = pkt.cap.as_ref() else {
             return true; // legacy packet: transport may still use it
         };
 
@@ -362,7 +364,7 @@ impl Shim for TvaHostShim {
                     .is_some_and(|c| c.caps == *caps && c.grant == *grant);
                 if !dup {
                     st.send = Some(SendCaps {
-                        caps: caps.clone(),
+                        caps: *caps,
                         grant: *grant,
                         nonce,
                         acquired: now,
@@ -515,7 +517,7 @@ mod tests {
         let (g, caps) = grant_via(&sched, ME, PEER, grant(), 5);
         let mut reply = data_pkt(PEER, ME, 0);
         let mut h = CapHeader::request();
-        h.return_info = Some(ReturnInfo::Capabilities { grant: g, caps });
+        h.return_info = Some(ReturnInfo::Capabilities { grant: g, caps: caps.into() });
         reply.cap = Some(h);
         assert!(s.on_receive(&mut reply, now));
         assert!(s.has_caps(PEER, now));
@@ -551,7 +553,7 @@ mod tests {
         let (g, caps) = grant_via(&sched, ME, PEER, Grant::from_parts(10, 10), 5);
         let mut reply = data_pkt(PEER, ME, 0);
         let mut h = CapHeader::request();
-        h.return_info = Some(ReturnInfo::Capabilities { grant: g, caps });
+        h.return_info = Some(ReturnInfo::Capabilities { grant: g, caps: caps.into() });
         s.on_receive(&mut reply_with(&mut reply, h), now);
         // Send until we cross the renewal fraction of the 10 KB budget.
         let mut saw_renewal = false;
@@ -583,7 +585,7 @@ mod tests {
         let (g, caps) = grant_via(&sched, ME, PEER, Grant::from_parts(1, 10), 5);
         let mut reply = data_pkt(PEER, ME, 0);
         let mut h = CapHeader::request();
-        h.return_info = Some(ReturnInfo::Capabilities { grant: g, caps });
+        h.return_info = Some(ReturnInfo::Capabilities { grant: g, caps: caps.into() });
         s.on_receive(&mut reply_with(&mut reply, h), now);
         // One packet blows the 1KB budget; the next send re-requests.
         let mut p1 = data_pkt(ME, PEER, 900);
@@ -637,7 +639,7 @@ mod tests {
         let (g, caps) = grant_via(&sched, ME, PEER, grant(), 5);
         let mut reply = data_pkt(PEER, ME, 0);
         let mut h = CapHeader::request();
-        h.return_info = Some(ReturnInfo::Capabilities { grant: g, caps });
+        h.return_info = Some(ReturnInfo::Capabilities { grant: g, caps: caps.into() });
         s.on_receive(&mut reply_with(&mut reply, h), now);
         assert!(s.has_caps(PEER, now));
         // A demotion notice arriving immediately is attributed to stragglers

@@ -28,7 +28,7 @@ struct Blaster {
     received: u64,
 }
 impl Node for Blaster {
-    fn on_packet(&mut self, _pkt: Packet, _from: ChannelId, _ctx: &mut dyn Ctx) {
+    fn on_packet(&mut self, _pkt: tva_sim::Pkt, _from: ChannelId, _ctx: &mut dyn Ctx) {
         self.received += 1;
     }
     fn on_timer(&mut self, _token: u64, ctx: &mut dyn Ctx) {
@@ -37,7 +37,7 @@ impl Node for Blaster {
         }
         self.remaining -= 1;
         let id = ctx.alloc_packet_id();
-        ctx.send(Packet { id, src: SRC, dst: DST, cap: None, tcp: None, payload_len: 0 });
+        ctx.send_new(Packet { id, src: SRC, dst: DST, cap: None, tcp: None, payload_len: 0 });
         ctx.set_timer(SimDuration::from_nanos(1_000_000), 0);
     }
     fn as_any(&self) -> &dyn Any {

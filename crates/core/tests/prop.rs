@@ -65,7 +65,7 @@ proptest! {
                 1 => regular(key as u8, bytes),
                 _ => legacy(bytes),
             };
-            let _ = s.enqueue(pkt, now);
+            let _ = s.enqueue(pkt.into(), now);
         }
         // Drain at link pace for long enough to empty or hit the horizon.
         let mut t = now;

@@ -62,8 +62,15 @@ impl SecretSchedule {
 
     /// The key for generation `g`.
     pub fn key_for_generation(&self, g: u64) -> SipKey {
-        let k0 = siphash24(self.master, &[&g.to_be_bytes()[..], b"k0"].concat());
-        let k1 = siphash24(self.master, &[&g.to_be_bytes()[..], b"k1"].concat());
+        // Stack-built input (generation || label): this runs per packet on
+        // the router hot path, where a `concat()` Vec would be the only
+        // remaining steady-state allocation.
+        let mut buf = [0u8; 10];
+        buf[..8].copy_from_slice(&g.to_be_bytes());
+        buf[8..].copy_from_slice(b"k0");
+        let k0 = siphash24(self.master, &buf);
+        buf[8..].copy_from_slice(b"k1");
+        let k1 = siphash24(self.master, &buf);
         SipKey::from_halves(k0, k1)
     }
 

@@ -27,7 +27,7 @@ struct Fwd;
 impl tva_sim::Node for Fwd {
     fn on_packet(
         &mut self,
-        pkt: Packet,
+        pkt: tva_sim::Pkt,
         _from: tva_sim::ChannelId,
         ctx: &mut dyn tva_sim::Ctx,
     ) {
@@ -180,7 +180,7 @@ struct CountingSink {
 impl tva_sim::Node for CountingSink {
     fn on_packet(
         &mut self,
-        pkt: Packet,
+        pkt: tva_sim::Pkt,
         _from: tva_sim::ChannelId,
         _ctx: &mut dyn tva_sim::Ctx,
     ) {

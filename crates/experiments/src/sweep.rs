@@ -42,6 +42,19 @@ impl fmt::Display for SweepFailure {
     }
 }
 
+/// The sweep's worker-thread count: `TVA_SWEEP_WORKERS` when set to a
+/// positive integer (so CI and bench runs can pin parallelism for
+/// reproducible timing), otherwise the machine's available parallelism.
+pub fn sweep_workers() -> usize {
+    if let Ok(v) = std::env::var("TVA_SWEEP_WORKERS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => eprintln!("warning: ignoring invalid TVA_SWEEP_WORKERS={v:?}"),
+        }
+    }
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -64,7 +77,7 @@ enum Outcome {
 pub fn run_all_checked(
     configs: Vec<ScenarioConfig>,
 ) -> Result<Vec<(ScenarioConfig, ScenarioResult)>, Vec<SweepFailure>> {
-    let workers = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = sweep_workers();
     let total = configs.len();
     let (job_tx, job_rx) = mpsc::channel::<(usize, ScenarioConfig)>();
     let job_rx = std::sync::Arc::new(std::sync::Mutex::new(job_rx));

@@ -10,7 +10,8 @@
 use std::collections::VecDeque;
 use std::hash::Hash;
 
-use tva_wire::{DetHashMap, Packet};
+use crate::pool::Pkt;
+use tva_wire::DetHashMap;
 
 /// A DRR scheduler over queues keyed by `K`.
 ///
@@ -21,6 +22,12 @@ pub struct Drr<K: Hash + Eq + Clone> {
     queues: DetHashMap<K, SubQueue>,
     /// Round-robin order of backlogged keys.
     active: VecDeque<K>,
+    /// Ring buffers salvaged from drained queues, ready for reuse. Keys
+    /// still leave the table when their queue empties (the memory bound and
+    /// the DRR semantics are unchanged); only the heap storage is kept, so
+    /// the enqueue→drain→enqueue cycle of an uncongested link stops
+    /// allocating once warm.
+    spare: Vec<VecDeque<Pkt>>,
     quantum: u32,
     per_queue_cap: u64,
     max_queues: usize,
@@ -29,8 +36,13 @@ pub struct Drr<K: Hash + Eq + Clone> {
     drops: u64,
 }
 
+/// Drained ring buffers kept for reuse per scheduler (beyond this they are
+/// freed). Small: spares only cycle through the uncongested single-flow
+/// case, where one buffer per concurrently-draining key suffices.
+const SPARE_QUEUES_MAX: usize = 32;
+
 struct SubQueue {
-    pkts: VecDeque<Packet>,
+    pkts: VecDeque<Pkt>,
     bytes: u64,
     deficit: u32,
     /// Whether the key is in `active` (it is iff the queue is non-empty).
@@ -51,6 +63,7 @@ impl<K: Hash + Eq + Clone> Drr<K> {
         Drr {
             queues: DetHashMap::default(),
             active: VecDeque::new(),
+            spare: Vec::new(),
             quantum,
             per_queue_cap,
             max_queues,
@@ -62,17 +75,16 @@ impl<K: Hash + Eq + Clone> Drr<K> {
 
     /// Offers a packet under `key`. Returns false (and counts a drop) if the
     /// key's queue is full or the key table is exhausted.
-    pub fn enqueue(&mut self, key: K, pkt: Packet) -> bool {
+    pub fn enqueue(&mut self, key: K, pkt: Pkt) -> bool {
         let len = pkt.wire_len() as u64;
         if !self.queues.contains_key(&key) {
             if self.queues.len() >= self.max_queues {
                 self.drops += 1;
                 return false;
             }
-            self.queues.insert(
-                key.clone(),
-                SubQueue { pkts: VecDeque::new(), bytes: 0, deficit: 0, backlogged: false },
-            );
+            let pkts = self.spare.pop().unwrap_or_default();
+            self.queues
+                .insert(key.clone(), SubQueue { pkts, bytes: 0, deficit: 0, backlogged: false });
         }
         let q = self.queues.get_mut(&key).expect("just inserted");
         if q.bytes + len > self.per_queue_cap {
@@ -92,7 +104,7 @@ impl<K: Hash + Eq + Clone> Drr<K> {
     }
 
     /// Takes the next packet in DRR order.
-    pub fn dequeue(&mut self) -> Option<Packet> {
+    pub fn dequeue(&mut self) -> Option<Pkt> {
         // Each outer iteration visits one backlogged queue; a queue whose
         // deficit cannot cover its head packet gets a quantum and goes to the
         // back of the round. Terminates because every visit either emits a
@@ -110,8 +122,13 @@ impl<K: Hash + Eq + Clone> Drr<K> {
                 self.total_pkts -= 1;
                 if q.pkts.is_empty() {
                     // Idle queues keep no deficit (standard DRR) and leave
-                    // the round; drop the key entirely to bound memory.
-                    self.queues.remove(&key);
+                    // the round; drop the key entirely to bound memory,
+                    // salvaging the ring buffer for the next key.
+                    if let Some(sq) = self.queues.remove(&key) {
+                        if self.spare.len() < SPARE_QUEUES_MAX && sq.pkts.capacity() > 0 {
+                            self.spare.push(sq.pkts);
+                        }
+                    }
                 } else {
                     self.active.push_front(key);
                 }
@@ -148,15 +165,15 @@ mod tests {
     use super::*;
     use tva_wire::{Addr, Packet, PacketId};
 
-    fn pkt(id: u64, bytes: u32) -> Packet {
-        Packet {
+    fn pkt(id: u64, bytes: u32) -> Pkt {
+        Pkt::new(Packet {
             id: PacketId(id),
             src: Addr::new(1, 0, 0, 1),
             dst: Addr::new(2, 0, 0, 2),
             cap: None,
             tcp: None,
             payload_len: bytes.saturating_sub(20),
-        }
+        })
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::event::{ChannelId, EventKind, EventQueue, NodeId};
 use crate::fault::{self, Impairments, FAULT_STREAM};
 use crate::intern::AddrInterner;
 use crate::node::{Ctx, Node};
+use crate::pool::Pkt;
 use crate::queue::QueueDisc;
 use crate::stats::ChannelStats;
 use crate::time::{SimDuration, SimTime};
@@ -27,7 +28,7 @@ pub struct Channel {
     pub delay: SimDuration,
     pub(crate) queue: Box<dyn QueueDisc>,
     pub(crate) busy: bool,
-    pub(crate) in_flight: Option<Packet>,
+    pub(crate) in_flight: Option<Pkt>,
     pub(crate) wake_at: Option<SimTime>,
     /// Wire impairments; `None` (the default) costs one branch per packet.
     pub(crate) impair: Option<Impairments>,
@@ -100,6 +101,11 @@ pub(crate) struct Core {
     pub addrs: Vec<(Addr, NodeId)>,
     /// Default routes from the topology (same retention rationale).
     pub defaults: Vec<(NodeId, ChannelId)>,
+    /// Static routes installed by the topology (node, addr, egress). These
+    /// bypass shortest-path computation entirely — the scalable way to
+    /// route tree topologies with very many hosts — and are re-applied
+    /// after every reconvergence.
+    pub statics: Vec<(NodeId, Addr, ChannelId)>,
     /// Times the dense next-hop tables have been recomputed at runtime.
     pub reconvergences: u64,
     pub rng: SmallRng,
@@ -135,11 +141,25 @@ impl Core {
             t(&TraceEvent { time: self.now, kind, channel: ch, id, src, dst, wire_len });
         }
     }
+
+    /// Installs every static route into the dense next-hop tables. Runs at
+    /// build and again after each reconvergence (static routes are pinned:
+    /// they express topology knowledge — e.g. "this subtree lives below
+    /// this port" — that shortest-path recomputation cannot derive, so
+    /// they win over computed entries).
+    pub(crate) fn apply_static_routes(&mut self) {
+        // Split borrows: the interner is read while route tables mutate.
+        let (routes, interner, statics) = (&mut self.routes, &self.interner, &self.statics);
+        for &(node, addr, ch) in statics {
+            let idx = interner.get(addr).expect("static-route address is interned");
+            routes[node.0].insert(idx, ch);
+        }
+    }
 }
 
 impl Core {
     /// Offers a packet to a channel's queue and kicks the transmitter.
-    fn offer(&mut self, ch: ChannelId, pkt: Packet) -> bool {
+    fn offer(&mut self, ch: ChannelId, pkt: Pkt) -> bool {
         // Copy the identifying fields out first: the packet moves into the
         // queue before the trace event is emitted.
         let (id, src, dst) = (pkt.id, pkt.src, pkt.dst);
@@ -239,14 +259,18 @@ impl Core {
                 let mut bytes = tva_wire::encode_packet(&pkt);
                 fault::corrupt_bytes(&mut bytes, &mut self.fault_rng);
                 match tva_wire::decode_packet(&bytes) {
-                    Ok(mut decoded) => {
-                        // The codec truncates the simulator's 64-bit packet
-                        // id to the 16-bit on-wire field; restore it so
-                        // traces stay attributable.
-                        decoded.id = pkt.id;
+                    Ok(decoded) => {
+                        // Reuse the packet's own storage for the decoded
+                        // bytes, but restore the id: the codec truncates the
+                        // simulator's 64-bit packet id to the 16-bit on-wire
+                        // field, and traces must stay attributable.
+                        let id = pkt.id;
+                        let mut pkt = pkt;
+                        *pkt = decoded;
+                        pkt.id = id;
                         self.events.push(
                             arrival,
-                            EventKind::Arrival { node, from: ch, packet: decoded },
+                            EventKind::Arrival { node, from: ch, packet: pkt },
                         );
                     }
                     Err(error) => {
@@ -327,7 +351,7 @@ impl Ctx for EngineCtx<'_> {
         self.node
     }
 
-    fn send(&mut self, pkt: Packet) -> bool {
+    fn send(&mut self, pkt: Pkt) -> bool {
         let idx = self.core.interner.get(pkt.dst);
         match self.core.routes[self.node.0].lookup(idx) {
             Some(ch) => self.core.offer(ch, pkt),
@@ -338,7 +362,7 @@ impl Ctx for EngineCtx<'_> {
         }
     }
 
-    fn send_via(&mut self, ch: ChannelId, pkt: Packet) -> bool {
+    fn send_via(&mut self, ch: ChannelId, pkt: Pkt) -> bool {
         self.core.offer(ch, pkt)
     }
 
@@ -351,8 +375,8 @@ impl Ctx for EngineCtx<'_> {
         self.core.routes[self.node.0].lookup(self.core.interner.get(dst))
     }
 
-    fn channel_stats(&self, ch: ChannelId) -> ChannelStats {
-        self.core.channels[ch.0].stats.clone()
+    fn channel_stats(&self, ch: ChannelId) -> &ChannelStats {
+        &self.core.channels[ch.0].stats
     }
 
     fn alloc_packet_id(&mut self) -> PacketId {
@@ -374,6 +398,9 @@ pub struct Simulator {
 }
 
 impl Simulator {
+    // Crate-internal constructor with exactly one caller (the topology
+    // builder); the argument list mirrors the builder's fields.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         nodes: Vec<Box<dyn Node>>,
         channels: Vec<Channel>,
@@ -381,9 +408,10 @@ impl Simulator {
         interner: AddrInterner,
         addrs: Vec<(Addr, NodeId)>,
         defaults: Vec<(NodeId, ChannelId)>,
+        statics: Vec<(NodeId, Addr, ChannelId)>,
         seed: u64,
     ) -> Self {
-        Simulator {
+        let mut sim = Simulator {
             core: Core {
                 now: SimTime::ZERO,
                 events: EventQueue::new(),
@@ -392,6 +420,7 @@ impl Simulator {
                 interner,
                 addrs,
                 defaults,
+                statics,
                 reconvergences: 0,
                 rng: SmallRng::seed_from_u64(seed),
                 fault_rng: SmallRng::seed_from_u64(seed ^ FAULT_STREAM),
@@ -401,7 +430,9 @@ impl Simulator {
                 tracer: None,
             },
             nodes,
-        }
+        };
+        sim.core.apply_static_routes();
+        sim
     }
 
     /// Current simulation time.
@@ -475,7 +506,10 @@ impl Simulator {
 
     /// Injects a packet as if it arrived at `node` (for tests).
     pub fn inject(&mut self, node: NodeId, from: ChannelId, packet: Packet) {
-        self.core.events.push(self.core.now, EventKind::Arrival { node, from, packet });
+        self.core.events.push(
+            self.core.now,
+            EventKind::Arrival { node, from, packet: Pkt::new(packet) },
+        );
     }
 
     /// Injects raw on-wire bytes as if they arrived at `node`: bytes that
@@ -550,6 +584,7 @@ impl Simulator {
             &self.core.defaults,
             &self.core.interner,
         );
+        self.core.apply_static_routes();
         self.core.reconvergences += 1;
     }
 

@@ -16,8 +16,8 @@
 //! scan. Freed slab slots are recycled through a free list, so the steady
 //! state allocates nothing per event.
 
+use crate::pool::Pkt;
 use crate::time::SimTime;
-use tva_wire::Packet;
 
 /// Identifies a node registered with the simulator.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -36,8 +36,8 @@ pub enum EventKind {
         node: NodeId,
         /// The channel it arrived on.
         from: ChannelId,
-        /// The packet.
-        packet: Packet,
+        /// The packet (pooled: its storage is recycled after dispatch).
+        packet: Pkt,
     },
     /// A node timer fires.
     Timer {

@@ -33,6 +33,7 @@ pub mod event;
 pub mod fault;
 pub mod intern;
 pub mod node;
+pub mod pool;
 pub mod queue;
 pub mod stats;
 pub mod time;
@@ -46,6 +47,7 @@ pub use event::{ChannelId, NodeId};
 pub use fault::{DutyCycleOutage, Impairments};
 pub use intern::AddrInterner;
 pub use node::{Ctx, Node, SinkNode};
+pub use pool::{pool_stats, Pkt, PoolStats};
 pub use queue::{DropTail, Enqueued, QueueDisc};
 pub use stats::ChannelStats;
 pub use time::{SimDuration, SimTime};

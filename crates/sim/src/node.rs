@@ -8,13 +8,14 @@
 use std::any::Any;
 
 use crate::event::{ChannelId, NodeId};
+use crate::pool::Pkt;
 use crate::time::SimTime;
 use tva_wire::Packet;
 
 /// A simulated network element.
 pub trait Node: Any {
     /// Called when a packet arrives at this node on channel `from`.
-    fn on_packet(&mut self, pkt: Packet, from: ChannelId, ctx: &mut dyn Ctx);
+    fn on_packet(&mut self, pkt: Pkt, from: ChannelId, ctx: &mut dyn Ctx);
 
     /// Called when a timer set via [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, token: u64, ctx: &mut dyn Ctx);
@@ -47,11 +48,19 @@ pub trait Ctx {
     /// Routes `pkt` by destination address and offers it to the egress
     /// channel. Returns `false` if this node has no route to the
     /// destination (the packet is counted and discarded).
-    fn send(&mut self, pkt: Packet) -> bool;
+    fn send(&mut self, pkt: Pkt) -> bool;
 
     /// Offers `pkt` directly to channel `ch` (bypassing routing); used by
     /// forwarding elements that have already made their decision.
-    fn send_via(&mut self, ch: ChannelId, pkt: Packet) -> bool;
+    fn send_via(&mut self, ch: ChannelId, pkt: Pkt) -> bool;
+
+    /// Convenience for packet *construction* sites: wraps a freshly built
+    /// [`Packet`] in pooled storage and sends it. Forwarders should pass
+    /// the [`Pkt`] they received to [`Ctx::send`] instead, which keeps the
+    /// hot path free of packet copies.
+    fn send_new(&mut self, pkt: Packet) -> bool {
+        self.send(Pkt::new(pkt))
+    }
 
     /// Schedules `on_timer(token)` after `delay`.
     fn set_timer(&mut self, delay: crate::time::SimDuration, token: u64);
@@ -60,9 +69,10 @@ pub trait Ctx {
     /// (exact match, then default route).
     fn route(&self, dst: tva_wire::Addr) -> Option<ChannelId>;
 
-    /// A snapshot of a channel's counters (available to any node; pushback
-    /// uses it to observe congestion on its own egress links).
-    fn channel_stats(&self, ch: ChannelId) -> crate::stats::ChannelStats;
+    /// A channel's counters (available to any node; pushback uses this to
+    /// observe congestion on its own egress links). Returned by reference —
+    /// copy out the scalars you need rather than cloning the whole struct.
+    fn channel_stats(&self, ch: ChannelId) -> &crate::stats::ChannelStats;
 
     /// A fresh globally unique packet id (deterministic).
     fn alloc_packet_id(&mut self) -> tva_wire::PacketId;
@@ -81,7 +91,7 @@ pub struct SinkNode {
 }
 
 impl Node for SinkNode {
-    fn on_packet(&mut self, pkt: Packet, _from: ChannelId, _ctx: &mut dyn Ctx) {
+    fn on_packet(&mut self, pkt: Pkt, _from: ChannelId, _ctx: &mut dyn Ctx) {
         self.received += 1;
         self.bytes += pkt.wire_len() as u64;
     }

@@ -7,8 +7,8 @@
 //! hold packets back even while the link is idle; [`QueueDisc::next_ready`]
 //! lets them tell the link when to poll again.
 
+use crate::pool::Pkt;
 use crate::time::SimTime;
-use tva_wire::Packet;
 
 /// Outcome of offering a packet to a queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,11 +30,11 @@ impl Enqueued {
 /// An egress queue discipline.
 pub trait QueueDisc: Send {
     /// Offers a packet at time `now`.
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> Enqueued;
+    fn enqueue(&mut self, pkt: Pkt, now: SimTime) -> Enqueued;
 
     /// Takes the next packet to transmit at time `now`, or `None` if nothing
     /// is currently eligible.
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+    fn dequeue(&mut self, now: SimTime) -> Option<Pkt>;
 
     /// If `dequeue` returned `None` while packets are held back (e.g. by a
     /// rate limiter), the earliest future instant at which a dequeue could
@@ -57,7 +57,7 @@ pub trait QueueDisc: Send {
 /// a byte-limited queue under a large-packet flood silently privileges
 /// small packets like TCP SYNs), or both.
 pub struct DropTail {
-    queue: std::collections::VecDeque<Packet>,
+    queue: std::collections::VecDeque<Pkt>,
     bytes: u64,
     capacity_bytes: u64,
     capacity_pkts: usize,
@@ -93,7 +93,7 @@ impl DropTail {
 }
 
 impl QueueDisc for DropTail {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> Enqueued {
+    fn enqueue(&mut self, pkt: Pkt, _now: SimTime) -> Enqueued {
         let len = pkt.wire_len() as u64;
         if self.bytes + len > self.capacity_bytes || self.queue.len() >= self.capacity_pkts {
             return Enqueued::Dropped;
@@ -103,7 +103,7 @@ impl QueueDisc for DropTail {
         Enqueued::Accepted
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _now: SimTime) -> Option<Pkt> {
         let pkt = self.queue.pop_front()?;
         self.bytes -= pkt.wire_len() as u64;
         Some(pkt)
@@ -123,15 +123,15 @@ mod tests {
     use super::*;
     use tva_wire::{Addr, Packet, PacketId};
 
-    fn pkt(bytes: u32) -> Packet {
-        Packet {
+    fn pkt(bytes: u32) -> Pkt {
+        Pkt::new(Packet {
             id: PacketId(0),
             src: Addr::new(1, 0, 0, 1),
             dst: Addr::new(2, 0, 0, 2),
             cap: None,
             tcp: None,
             payload_len: bytes.saturating_sub(20), // minus IP header
-        }
+        })
     }
 
     #[test]

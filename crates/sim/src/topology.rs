@@ -32,6 +32,7 @@ pub struct TopologyBuilder {
     channels: Vec<Channel>,
     addrs: Vec<(Addr, NodeId)>,
     defaults: Vec<(NodeId, ChannelId)>,
+    statics: Vec<(NodeId, Addr, ChannelId)>,
 }
 
 impl TopologyBuilder {
@@ -52,6 +53,24 @@ impl TopologyBuilder {
     /// for gateways toward address space the topology does not enumerate.
     pub fn default_route(&mut self, node: NodeId, ch: ChannelId) {
         self.defaults.push((node, ch));
+    }
+
+    /// Installs a static route: packets for `addr` arriving at `node` go
+    /// out `ch`, no shortest-path computation involved.
+    ///
+    /// [`TopologyBuilder::bind_addr`] costs one whole-graph BFS per address
+    /// at build time, which is prohibitive for internet-scale topologies
+    /// (100k hosts × 100k-node graph). Tree-shaped topologies don't need
+    /// it: point every node's *default* route up toward the core and
+    /// install one static route per (ancestor, host) pair going down —
+    /// O(depth) per host, independent of graph size. Static routes are
+    /// pinned: they survive link-failure reconvergence unchanged (the
+    /// engine cannot recompute knowledge it was handed), so use them for
+    /// topologies whose failure behavior you don't simulate, or accept
+    /// that a failed static next hop blackholes like a real misconfigured
+    /// route would.
+    pub fn static_route(&mut self, node: NodeId, addr: Addr, ch: ChannelId) {
+        self.statics.push((node, addr, ch));
     }
 
     /// Declares that `addr` lives at `node` (i.e. packets addressed to
@@ -131,6 +150,9 @@ impl TopologyBuilder {
         for &(addr, _) in &self.addrs {
             interner.intern(addr);
         }
+        for &(_, addr, _) in &self.statics {
+            interner.intern(addr);
+        }
         let routes = compute_routes(n, &self.channels, &self.addrs, &self.defaults, &interner);
         Simulator::new(
             self.nodes,
@@ -139,6 +161,7 @@ impl TopologyBuilder {
             interner,
             self.addrs,
             self.defaults,
+            self.statics,
             seed,
         )
     }
@@ -223,7 +246,7 @@ mod tests {
     impl Node for Fwd {
         fn on_packet(
             &mut self,
-            pkt: Packet,
+            pkt: crate::pool::Pkt,
             _from: ChannelId,
             ctx: &mut dyn crate::node::Ctx,
         ) {
@@ -303,6 +326,42 @@ mod tests {
         assert_eq!(sim.node::<SinkNode>(d).received, 1);
         // The s→a channel carried it (shortest path).
         assert_eq!(sim.channel(sa.ab).stats.tx_pkts, 1);
+    }
+
+    #[test]
+    fn static_routes_forward_without_bfs() {
+        // h - r - {d1, d2}: d1/d2 are never bind_addr'ed; r routes to them
+        // purely via static entries, h via its default route.
+        let mut t = TopologyBuilder::new();
+        let h = t.add_node(Box::new(Fwd));
+        let r = t.add_node(Box::new(Fwd));
+        let d1 = t.add_node(Box::<SinkNode>::default());
+        let d2 = t.add_node(Box::<SinkNode>::default());
+        let dl = SimDuration::from_millis(1);
+        let hr = t.link(h, r, 1_000_000, dl, q(), q());
+        let rd1 = t.link(r, d1, 1_000_000, dl, q(), q());
+        let rd2 = t.link(r, d2, 1_000_000, dl, q(), q());
+        let a1 = Addr::new(10, 0, 0, 1);
+        let a2 = Addr::new(10, 0, 0, 2);
+        t.default_route(h, hr.ab);
+        t.static_route(r, a1, rd1.ab);
+        t.static_route(r, a2, rd2.ab);
+        let mut sim = t.build(7);
+        for dst in [a1, a2, a1] {
+            let pkt = Packet {
+                id: PacketId(1),
+                src: Addr::new(1, 1, 1, 1),
+                dst,
+                cap: None,
+                tcp: None,
+                payload_len: 10,
+            };
+            sim.inject(h, ChannelId(0), pkt);
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.node::<SinkNode>(d1).received, 2);
+        assert_eq!(sim.node::<SinkNode>(d2).received, 1);
+        assert_eq!(sim.unrouted(), 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::any::Any;
 
 use tva_sim::{
-    queue::Enqueued, ChannelId, Ctx, DropTail, Node, QueueDisc, SimDuration, SimTime,
+    queue::Enqueued, ChannelId, Ctx, DropTail, Node, Pkt, QueueDisc, SimDuration, SimTime,
     SinkNode, TokenBucket, TopologyBuilder,
 };
 use tva_wire::{Addr, Packet, PacketId};
@@ -25,14 +25,14 @@ struct Blaster {
 }
 
 impl Node for Blaster {
-    fn on_packet(&mut self, _pkt: Packet, _from: ChannelId, _ctx: &mut dyn Ctx) {}
+    fn on_packet(&mut self, _pkt: Pkt, _from: ChannelId, _ctx: &mut dyn Ctx) {}
     fn on_timer(&mut self, _token: u64, ctx: &mut dyn Ctx) {
         // Enqueue everything at t=0; the egress queue serializes.
         while self.sent < self.count {
             let id = ctx.alloc_packet_id();
             let mut p = data_packet(0, self.payload);
             p.id = id;
-            ctx.send(p);
+            ctx.send_new(p);
             self.sent += 1;
         }
     }
@@ -51,7 +51,7 @@ struct Recorder {
 }
 
 impl Node for Recorder {
-    fn on_packet(&mut self, _pkt: Packet, _from: ChannelId, _ctx: &mut dyn Ctx) {
+    fn on_packet(&mut self, _pkt: Pkt, _from: ChannelId, _ctx: &mut dyn Ctx) {
         self.times.push(_ctx.now());
     }
     fn on_timer(&mut self, _token: u64, _ctx: &mut dyn Ctx) {}
@@ -127,10 +127,10 @@ struct RateLimited {
 }
 
 impl QueueDisc for RateLimited {
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> Enqueued {
+    fn enqueue(&mut self, pkt: Pkt, now: SimTime) -> Enqueued {
         self.inner.enqueue(pkt, now)
     }
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Pkt> {
         // Peek via len; DropTail has no peek, so dequeue+reinsert would
         // reorder. Instead check affordability of a nominal head by trying:
         // we know all test packets are the same size.

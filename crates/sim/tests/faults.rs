@@ -6,7 +6,7 @@ use std::any::Any;
 use std::sync::{Arc, Mutex};
 
 use tva_sim::{
-    format_event, ChannelId, Ctx, DropTail, DutyCycleOutage, Impairments, Node, NodeId,
+    format_event, ChannelId, Ctx, DropTail, DutyCycleOutage, Impairments, Node, NodeId, Pkt,
     SimDuration, SimTime, Simulator, SinkNode, TopologyBuilder,
 };
 use tva_wire::{Addr, Packet, PacketId, WireError};
@@ -25,7 +25,7 @@ fn pkt(id: u64, payload_len: u32) -> Packet {
 /// Forwards every arriving packet by destination routing.
 struct Fwd;
 impl Node for Fwd {
-    fn on_packet(&mut self, pkt: Packet, _from: ChannelId, ctx: &mut dyn Ctx) {
+    fn on_packet(&mut self, pkt: Pkt, _from: ChannelId, ctx: &mut dyn Ctx) {
         ctx.send(pkt);
     }
     fn on_timer(&mut self, _token: u64, _ctx: &mut dyn Ctx) {}
@@ -49,7 +49,7 @@ impl Blaster {
     }
 }
 impl Node for Blaster {
-    fn on_packet(&mut self, _pkt: Packet, _from: ChannelId, _ctx: &mut dyn Ctx) {}
+    fn on_packet(&mut self, _pkt: Pkt, _from: ChannelId, _ctx: &mut dyn Ctx) {}
     fn on_timer(&mut self, _token: u64, ctx: &mut dyn Ctx) {
         if self.remaining == 0 {
             return;
@@ -57,7 +57,7 @@ impl Node for Blaster {
         self.remaining -= 1;
         self.sent += 1;
         let id = ctx.alloc_packet_id();
-        ctx.send(Packet {
+        ctx.send_new(Packet {
             id,
             src: SRC,
             dst: DST,
@@ -83,7 +83,7 @@ struct MalformedSink {
     errors: Vec<WireError>,
 }
 impl Node for MalformedSink {
-    fn on_packet(&mut self, _pkt: Packet, _from: ChannelId, _ctx: &mut dyn Ctx) {
+    fn on_packet(&mut self, _pkt: Pkt, _from: ChannelId, _ctx: &mut dyn Ctx) {
         self.received += 1;
     }
     fn on_timer(&mut self, _token: u64, _ctx: &mut dyn Ctx) {}

@@ -27,7 +27,7 @@ proptest! {
         for (i, &(key, bytes)) in arrivals.iter().enumerate() {
             let mut p = pkt(key, bytes);
             p.id = PacketId(i as u64);
-            if d.enqueue(Addr(key), p) {
+            if d.enqueue(Addr(key), p.into()) {
                 accepted[key as usize].push(i as u64);
             }
         }
@@ -54,7 +54,7 @@ proptest! {
         // Give every key an ample backlog of its own packet size.
         for (k, &sz) in sizes.iter().enumerate() {
             for _ in 0..(rounds * 1500 / sz as usize + 2) {
-                prop_assert!(d.enqueue(Addr(k as u32), pkt(k as u32, sz)));
+                prop_assert!(d.enqueue(Addr(k as u32), pkt(k as u32, sz).into()));
             }
         }
         // Serve a fixed byte volume.
@@ -108,7 +108,7 @@ proptest! {
             let mut p = pkt(0, bytes);
             p.id = PacketId(i as u64);
             prop_assert!(q.len_bytes() <= cap);
-            if q.enqueue(p, SimTime::ZERO).is_accepted() {
+            if q.enqueue(p.into(), SimTime::ZERO).is_accepted() {
                 expect.push(i as u64);
                 prop_assert!(q.len_bytes() <= cap);
             }

@@ -9,10 +9,10 @@
 //! Sequence space: the SYN consumes sequence 0, data occupies
 //! `1..=bytes_total`, the FIN consumes `bytes_total + 1`.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
-use tva_sim::{SimDuration, SimTime};
-use tva_wire::{Addr, Packet, PacketId, TcpFlags, TcpSegment};
+use tva_sim::{Pkt, SimDuration, SimTime};
+use tva_wire::{Addr, DetHashMap, Packet, PacketId, TcpFlags, TcpSegment};
 
 use crate::config::TcpConfig;
 
@@ -98,23 +98,32 @@ pub struct SenderConn {
     pub timer: Option<SimTime>,
     syn_tx: u32,
     /// Transmission counts per segment start sequence.
-    tx_counts: HashMap<u32, u32>,
+    tx_counts: DetHashMap<u32, u32>,
     /// Send times for RTT sampling (only first transmissions are sampled).
-    send_times: HashMap<u32, SimTime>,
+    send_times: DetHashMap<u32, SimTime>,
 }
 
 impl SenderConn {
     /// Opens a connection to push `bytes_total` bytes; emits the initial SYN
-    /// into `out`.
+    /// into `out`. `recycled` donates the hash-map storage of a finished
+    /// connection (cleared here) so steady transfer churn stops allocating;
+    /// every other field is freshly initialised either way.
     pub fn open(
         key: ConnKey,
         local: Addr,
         bytes_total: u32,
         cfg: &TcpConfig,
         now: SimTime,
-        out: &mut Vec<Packet>,
+        out: &mut Vec<Pkt>,
+        recycled: Option<SenderConn>,
     ) -> Self {
         assert!(bytes_total > 0, "empty transfers are not modeled");
+        let (mut tx_counts, mut send_times) = match recycled {
+            Some(old) => (old.tx_counts, old.send_times),
+            None => Default::default(),
+        };
+        tx_counts.clear();
+        send_times.clear();
         let mut c = SenderConn {
             key,
             local,
@@ -132,8 +141,8 @@ impl SenderConn {
             backoff: 0,
             timer: None,
             syn_tx: 0,
-            tx_counts: HashMap::new(),
-            send_times: HashMap::new(),
+            tx_counts,
+            send_times,
         };
         c.send_syn(cfg, now, out);
         c
@@ -143,17 +152,17 @@ impl SenderConn {
         self.bytes_total + 1
     }
 
-    fn send_syn(&mut self, cfg: &TcpConfig, now: SimTime, out: &mut Vec<Packet>) {
+    fn send_syn(&mut self, cfg: &TcpConfig, now: SimTime, out: &mut Vec<Pkt>) {
         self.syn_tx += 1;
         self.timer = Some(now + cfg.syn_timeout);
-        out.push(Packet {
+        out.push(Pkt::new(Packet {
             id: PacketId(0),
             src: self.local,
             dst: self.key.peer,
             cap: None,
             tcp: Some(TcpSegment::syn(self.key.local_port, self.key.peer_port, 0)),
             payload_len: 0,
-        });
+        }));
     }
 
     fn seg_packet(&self, seq: u32, len: u32, fin: bool) -> Packet {
@@ -178,7 +187,7 @@ impl SenderConn {
         seq: u32,
         cfg: &TcpConfig,
         now: SimTime,
-        out: &mut Vec<Packet>,
+        out: &mut Vec<Pkt>,
     ) -> bool {
         let count = self.tx_counts.entry(seq).or_insert(0);
         if *count >= cfg.max_seg_tx {
@@ -196,12 +205,12 @@ impl SenderConn {
         } else {
             ((self.bytes_total + 1 - seq).min(cfg.mss), false)
         };
-        out.push(self.seg_packet(seq, len, fin));
+        out.push(Pkt::new(self.seg_packet(seq, len, fin)));
         true
     }
 
     /// Fills the congestion window with new segments.
-    fn push_window(&mut self, cfg: &TcpConfig, now: SimTime, out: &mut Vec<Packet>) {
+    fn push_window(&mut self, cfg: &TcpConfig, now: SimTime, out: &mut Vec<Pkt>) {
         let cwnd_bytes = (self.cwnd * cfg.mss as f64) as u32;
         while self.snd_nxt <= self.bytes_total && self.flight() < cwnd_bytes {
             let seq = self.snd_nxt;
@@ -229,7 +238,7 @@ impl SenderConn {
         seg: &TcpSegment,
         cfg: &TcpConfig,
         now: SimTime,
-        out: &mut Vec<Packet>,
+        out: &mut Vec<Pkt>,
     ) -> SenderEvent {
         match self.state {
             SenderState::SynSent => {
@@ -266,7 +275,7 @@ impl SenderConn {
         ack: u32,
         cfg: &TcpConfig,
         now: SimTime,
-        out: &mut Vec<Packet>,
+        out: &mut Vec<Pkt>,
     ) -> SenderEvent {
         if ack > self.snd_nxt {
             // Acknowledges data never sent: corrupt or forged (RFC 9293
@@ -335,7 +344,7 @@ impl SenderConn {
         &mut self,
         cfg: &TcpConfig,
         now: SimTime,
-        out: &mut Vec<Packet>,
+        out: &mut Vec<Pkt>,
     ) -> SenderEvent {
         self.timer = None;
         match self.state {
@@ -432,13 +441,13 @@ impl ReceiverConn {
     }
 
     /// Handles a segment from the peer, emitting SYN/ACKs and ACKs.
-    pub fn on_segment(&mut self, seg: &TcpSegment, payload_len: u32, out: &mut Vec<Packet>) {
+    pub fn on_segment(&mut self, seg: &TcpSegment, payload_len: u32, out: &mut Vec<Pkt>) {
         if seg.flags.syn {
             // (Re)answer the handshake: SYN/ACK with our seq 0, ack 1.
             let mut p = out_packet(self.local, self.key, 0, 1, 0, false);
             let t = p.tcp.as_mut().expect("out_packet always sets tcp");
             t.flags.syn = true;
-            out.push(p);
+            out.push(Pkt::new(p));
             return;
         }
         if payload_len > 0 {
@@ -461,14 +470,14 @@ impl ReceiverConn {
             } else if seq > self.rcv_nxt {
                 self.ooo.insert(seq, payload_len);
             } // else: old duplicate, just re-ACK
-            out.push(out_packet(self.local, self.key, 1, self.rcv_nxt, 0, false));
+            out.push(Pkt::new(out_packet(self.local, self.key, 1, self.rcv_nxt, 0, false)));
         } else if seg.flags.fin {
             if seg.seq == self.rcv_nxt {
                 // FIN consumes one sequence number.
                 self.rcv_nxt += 1;
                 self.closed = true;
             }
-            out.push(out_packet(self.local, self.key, 1, self.rcv_nxt, 0, false));
+            out.push(Pkt::new(out_packet(self.local, self.key, 1, self.rcv_nxt, 0, false)));
         }
         // Pure ACKs from the peer carry nothing for a receiver.
     }
@@ -530,7 +539,7 @@ mod tests {
     #[test]
     fn open_emits_syn() {
         let mut out = Vec::new();
-        let c = SenderConn::open(key(), LOCAL, 5000, &cfg(), SimTime::ZERO, &mut out);
+        let c = SenderConn::open(key(), LOCAL, 5000, &cfg(), SimTime::ZERO, &mut out, None);
         assert_eq!(out.len(), 1);
         assert!(out[0].tcp.unwrap().flags.syn);
         assert_eq!(c.state, SenderState::SynSent);
@@ -540,7 +549,7 @@ mod tests {
     #[test]
     fn synack_opens_initial_window() {
         let mut out = Vec::new();
-        let mut c = SenderConn::open(key(), LOCAL, 5000, &cfg(), SimTime::ZERO, &mut out);
+        let mut c = SenderConn::open(key(), LOCAL, 5000, &cfg(), SimTime::ZERO, &mut out, None);
         out.clear();
         let t = SimTime::from_nanos(60_000_000);
         c.on_segment(&synack(), &cfg(), t, &mut out);
@@ -555,7 +564,7 @@ mod tests {
     #[test]
     fn acks_grow_window_and_complete() {
         let mut out = Vec::new();
-        let mut c = SenderConn::open(key(), LOCAL, 3000, &cfg(), SimTime::ZERO, &mut out);
+        let mut c = SenderConn::open(key(), LOCAL, 3000, &cfg(), SimTime::ZERO, &mut out, None);
         let mut now = SimTime::from_nanos(60_000_000);
         c.on_segment(&synack(), &cfg(), now, &mut out);
         // ACK first segment: window grows, third (final) segment flows.
@@ -582,7 +591,7 @@ mod tests {
     #[test]
     fn syn_retransmits_fixed_interval_then_aborts() {
         let mut out = Vec::new();
-        let mut c = SenderConn::open(key(), LOCAL, 1000, &cfg(), SimTime::ZERO, &mut out);
+        let mut c = SenderConn::open(key(), LOCAL, 1000, &cfg(), SimTime::ZERO, &mut out, None);
         for i in 1..9 {
             out.clear();
             let due = c.timer.expect("SYN timer armed");
@@ -601,7 +610,7 @@ mod tests {
     #[test]
     fn triple_dupack_fast_retransmits() {
         let mut out = Vec::new();
-        let mut c = SenderConn::open(key(), LOCAL, 10_000, &cfg(), SimTime::ZERO, &mut out);
+        let mut c = SenderConn::open(key(), LOCAL, 10_000, &cfg(), SimTime::ZERO, &mut out, None);
         let now = SimTime::from_nanos(60_000_000);
         c.on_segment(&synack(), &cfg(), now, &mut out);
         // Grow the window a bit.
@@ -619,7 +628,7 @@ mod tests {
     #[test]
     fn rto_backoff_reaches_abort_threshold() {
         let mut out = Vec::new();
-        let mut c = SenderConn::open(key(), LOCAL, 10_000, &cfg(), SimTime::ZERO, &mut out);
+        let mut c = SenderConn::open(key(), LOCAL, 10_000, &cfg(), SimTime::ZERO, &mut out, None);
         let now = SimTime::from_nanos(60_000_000);
         c.on_segment(&synack(), &cfg(), now, &mut out);
         // Repeated timeouts double the RTO until it passes 64 s.
@@ -645,7 +654,7 @@ mod tests {
         let mut cfg = cfg();
         cfg.abort_rto = SimDuration::from_secs(1 << 30);
         let mut out = Vec::new();
-        let mut c = SenderConn::open(key(), LOCAL, 1000, &cfg, SimTime::ZERO, &mut out);
+        let mut c = SenderConn::open(key(), LOCAL, 1000, &cfg, SimTime::ZERO, &mut out, None);
         let now = SimTime::from_nanos(60_000_000);
         c.on_segment(&synack(), &cfg, now, &mut out);
         let mut aborted = None;
@@ -663,7 +672,7 @@ mod tests {
     #[test]
     fn forged_ack_beyond_snd_nxt_is_ignored() {
         let mut out = Vec::new();
-        let mut c = SenderConn::open(key(), LOCAL, 10_000, &cfg(), SimTime::ZERO, &mut out);
+        let mut c = SenderConn::open(key(), LOCAL, 10_000, &cfg(), SimTime::ZERO, &mut out, None);
         let now = SimTime::from_nanos(60_000_000);
         c.on_segment(&synack(), &cfg(), now, &mut out);
         out.clear();

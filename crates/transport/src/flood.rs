@@ -80,7 +80,7 @@ impl FloodNode {
         let wire_len = if let Some(mut pkt) = (self.factory)(now, seq) {
             pkt.id = ctx.alloc_packet_id();
             let len = pkt.wire_len();
-            ctx.send(pkt);
+            ctx.send_new(pkt);
             self.emitted += 1;
             len
         } else {
@@ -100,7 +100,7 @@ impl FloodNode {
 }
 
 impl Node for FloodNode {
-    fn on_packet(&mut self, _pkt: Packet, _from: ChannelId, _ctx: &mut dyn Ctx) {
+    fn on_packet(&mut self, _pkt: tva_sim::Pkt, _from: ChannelId, _ctx: &mut dyn Ctx) {
         self.received += 1;
     }
 

@@ -8,8 +8,8 @@
 
 use std::any::Any;
 
-use tva_sim::{Ctx, Node, SimTime};
-use tva_wire::{Addr, Packet};
+use tva_sim::{Ctx, Node, Pkt, SimTime};
+use tva_wire::Addr;
 
 use crate::config::TcpConfig;
 use crate::metrics::TransferRecord;
@@ -29,16 +29,16 @@ fn pump(
     timer_armed: &mut Option<SimTime>,
     ctx: &mut dyn Ctx,
 ) -> Vec<TcpEvent> {
-    for mut pkt in stack.take_out() {
+    let now = ctx.now();
+    for mut pkt in stack.drain_out() {
         pkt.id = ctx.alloc_packet_id();
-        shim.on_send(&mut pkt, ctx.now());
+        shim.on_send(&mut pkt, now);
         ctx.send(pkt);
     }
     for mut pkt in shim.take_outbox() {
         pkt.id = ctx.alloc_packet_id();
-        ctx.send(pkt);
+        ctx.send(Pkt::new(pkt));
     }
-    let now = ctx.now();
     if let Some(next) = stack.next_timer() {
         let stale = timer_armed.is_none_or(|armed| armed <= now || armed > next);
         if stale {
@@ -136,7 +136,7 @@ impl ClientNode {
 }
 
 impl Node for ClientNode {
-    fn on_packet(&mut self, mut pkt: Packet, _from: tva_sim::ChannelId, ctx: &mut dyn Ctx) {
+    fn on_packet(&mut self, mut pkt: Pkt, _from: tva_sim::ChannelId, ctx: &mut dyn Ctx) {
         if !self.shim.on_receive(&mut pkt, ctx.now()) {
             return;
         }
@@ -203,7 +203,7 @@ impl ServerNode {
 }
 
 impl Node for ServerNode {
-    fn on_packet(&mut self, mut pkt: Packet, _from: tva_sim::ChannelId, ctx: &mut dyn Ctx) {
+    fn on_packet(&mut self, mut pkt: Pkt, _from: tva_sim::ChannelId, ctx: &mut dyn Ctx) {
         if !self.shim.on_receive(&mut pkt, ctx.now()) {
             return;
         }

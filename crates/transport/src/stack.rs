@@ -1,9 +1,8 @@
 //! The TCP stack: connection demultiplexing, timers, and event reporting.
 
-use std::collections::HashMap;
 
-use tva_sim::SimTime;
-use tva_wire::{Addr, Packet};
+use tva_sim::{Pkt, SimTime};
+use tva_wire::{Addr, DetHashMap, Packet};
 
 use crate::config::{TcpConfig, SERVER_PORT};
 use crate::conn::{AbortReason, ConnKey, ReceiverConn, SenderConn, SenderEvent, SenderState};
@@ -36,10 +35,14 @@ pub enum TcpEvent {
 pub struct TcpStack {
     local: Addr,
     cfg: TcpConfig,
-    senders: HashMap<ConnKey, SenderConn>,
-    receivers: HashMap<ConnKey, ReceiverConn>,
-    out: Vec<Packet>,
+    senders: DetHashMap<ConnKey, SenderConn>,
+    receivers: DetHashMap<ConnKey, ReceiverConn>,
+    out: Vec<Pkt>,
     events: Vec<TcpEvent>,
+    /// One finished sender kept around so the next `open` can reuse its
+    /// hash-map storage (clients run transfers back-to-back; see
+    /// [`SenderConn::open`]). Never observable: it is not in `senders`.
+    spare_sender: Option<SenderConn>,
     next_port: u16,
     /// Packets seen since the last idle-receiver sweep.
     prune_countdown: u32,
@@ -57,10 +60,11 @@ impl TcpStack {
         TcpStack {
             local,
             cfg,
-            senders: HashMap::new(),
-            receivers: HashMap::new(),
+            senders: DetHashMap::default(),
+            receivers: DetHashMap::default(),
             out: Vec::new(),
             events: Vec::new(),
+            spare_sender: None,
             next_port: 1024,
             prune_countdown: PRUNE_EVERY,
             delivered_bytes: 0,
@@ -81,7 +85,8 @@ impl TcpStack {
     pub fn open(&mut self, peer: Addr, bytes: u32, now: SimTime) -> ConnKey {
         let key = ConnKey { peer, local_port: self.next_port, peer_port: SERVER_PORT };
         self.next_port = self.next_port.checked_add(1).expect("port space exhausted");
-        let conn = SenderConn::open(key, self.local, bytes, &self.cfg, now, &mut self.out);
+        let recycled = self.spare_sender.take();
+        let conn = SenderConn::open(key, self.local, bytes, &self.cfg, now, &mut self.out, recycled);
         self.senders.insert(key, conn);
         key
     }
@@ -115,7 +120,7 @@ impl TcpStack {
             let ev = conn.on_segment(&seg, &self.cfg, now, &mut self.out);
             self.report(key, before, ev);
             if self.senders.get(&key).is_some_and(|c| c.finished()) {
-                self.senders.remove(&key);
+                self.spare_sender = self.senders.remove(&key);
             }
             return;
         }
@@ -175,7 +180,7 @@ impl TcpStack {
             let ev = conn.on_timeout(&self.cfg, now, &mut self.out);
             self.report(key, before, ev);
             if self.senders.get(&key).is_some_and(|c| c.finished()) {
-                self.senders.remove(&key);
+                self.spare_sender = self.senders.remove(&key);
             }
         }
     }
@@ -185,9 +190,16 @@ impl TcpStack {
         self.senders.values().filter_map(|c| c.timer).min()
     }
 
-    /// Drains packets the stack wants transmitted.
-    pub fn take_out(&mut self) -> Vec<Packet> {
-        std::mem::take(&mut self.out)
+    /// Drains packets the stack wants transmitted. The internal buffer
+    /// keeps its capacity, so steady-state pumping does not allocate.
+    pub fn drain_out(&mut self) -> std::vec::Drain<'_, Pkt> {
+        self.out.drain(..)
+    }
+
+    /// Drains packets the stack wants transmitted into a fresh `Vec`
+    /// (convenience for tests; the host pump uses [`TcpStack::drain_out`]).
+    pub fn take_out(&mut self) -> Vec<Pkt> {
+        self.out.drain(..).collect()
     }
 
     /// Drains application events.
@@ -220,7 +232,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         let delay = tva_sim::SimDuration::from_millis(30); // one-way
         // In-flight packets: (deliver_at, to_a, packet).
-        let mut wire: Vec<(SimTime, bool, Packet)> = Vec::new();
+        let mut wire: Vec<(SimTime, bool, Pkt)> = Vec::new();
         let mut events = Vec::new();
         loop {
             for p in a.take_out() {

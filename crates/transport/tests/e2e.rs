@@ -28,7 +28,7 @@ fn dumbbell(n_users: usize, transfers: usize) -> (tva_sim::Simulator, Vec<NodeId
     impl tva_sim::Node for Fwd {
         fn on_packet(
             &mut self,
-            pkt: Packet,
+            pkt: tva_sim::Pkt,
             _from: tva_sim::ChannelId,
             ctx: &mut dyn tva_sim::Ctx,
         ) {
@@ -125,7 +125,7 @@ fn legacy_flood_starves_legacy_clients() {
     impl tva_sim::Node for Fwd {
         fn on_packet(
             &mut self,
-            pkt: Packet,
+            pkt: tva_sim::Pkt,
             _from: tva_sim::ChannelId,
             ctx: &mut dyn tva_sim::Ctx,
         ) {
@@ -214,7 +214,7 @@ fn debug_flood_dynamics() {
     let mut t = TopologyBuilder::new();
     struct Fwd;
     impl tva_sim::Node for Fwd {
-        fn on_packet(&mut self, pkt: Packet, _from: tva_sim::ChannelId, ctx: &mut dyn tva_sim::Ctx) { ctx.send(pkt); }
+        fn on_packet(&mut self, pkt: tva_sim::Pkt, _from: tva_sim::ChannelId, ctx: &mut dyn tva_sim::Ctx) { ctx.send(pkt); }
         fn on_timer(&mut self, _t: u64, _ctx: &mut dyn tva_sim::Ctx) {}
         fn as_any(&self) -> &dyn std::any::Any { self }
         fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }

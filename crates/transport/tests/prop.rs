@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use tva_sim::{SimDuration, SimTime};
 use tva_transport::{ReceiverConn, TcpConfig, TcpEvent, TcpStack};
-use tva_wire::{Addr, Packet, TcpFlags, TcpSegment};
+use tva_wire::{Addr, TcpFlags, TcpSegment};
 
 const A: Addr = Addr::new(1, 0, 0, 1);
 const B: Addr = Addr::new(2, 0, 0, 1);
@@ -22,7 +22,7 @@ fn run_lossy(
     let mut b = TcpStack::new(B, TcpConfig::default());
     a.open(B, file_size, SimTime::ZERO);
     let delay = SimDuration::from_millis(25);
-    let mut wire: Vec<(SimTime, bool, Packet)> = Vec::new();
+    let mut wire: Vec<(SimTime, bool, tva_sim::Pkt)> = Vec::new();
     let mut events = Vec::new();
     let mut now = SimTime::ZERO;
     let mut drop_idx = 0usize;

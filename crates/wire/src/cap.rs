@@ -2,57 +2,64 @@
 
 use std::fmt;
 
+use crate::inline::InlineList;
+
 /// Maximum number of capability routers on a path that a request can
 /// accumulate stamps from. The paper's format has an 8-bit capability count;
 /// we bound it lower to keep header overhead realistic (Internet paths rarely
 /// cross more than ~30 ASes).
 pub const MAX_PATH_ROUTERS: usize = 32;
 
+/// The capability list of a header, stored inline (no heap allocation):
+/// path length — and hence the wire format's count field — bounds it.
+pub type CapList = InlineList<CapValue, MAX_PATH_ROUTERS>;
+
+/// The per-router entry list of a request header, stored inline.
+pub type RequestList = InlineList<RequestEntry, MAX_PATH_ROUTERS>;
+
 /// A 64-bit capability word: an 8-bit router timestamp (modulo-256 seconds
 /// clock) plus 56 bits of keyed hash (Figure 3). The same layout is used for
 /// pre-capabilities (minted by routers on requests) and full capabilities
 /// (pre-capability re-hashed with `N` and `T` by the destination); only the
-/// hash input differs.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
-pub struct CapValue {
-    ts: u8,
-    hash56: u64,
-}
+/// hash input differs. Stored packed exactly as on the wire: timestamp in
+/// the top byte, hash in the low 56 bits.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct CapValue(u64);
 
 impl CapValue {
     /// Builds a capability word. The hash is masked to 56 bits.
     pub const fn new(ts: u8, hash56: u64) -> Self {
-        CapValue { ts, hash56: hash56 & ((1u64 << 56) - 1) }
+        CapValue(((ts as u64) << 56) | (hash56 & ((1u64 << 56) - 1)))
     }
 
     /// The router timestamp (seconds, modulo 256) embedded in the word.
     #[inline]
     pub const fn timestamp(self) -> u8 {
-        self.ts
+        (self.0 >> 56) as u8
     }
 
     /// The 56-bit hash part.
     #[inline]
     pub const fn hash56(self) -> u64 {
-        self.hash56
+        self.0 & ((1u64 << 56) - 1)
     }
 
     /// Packs into the 64-bit wire representation: timestamp in the top byte.
     #[inline]
     pub const fn to_u64(self) -> u64 {
-        ((self.ts as u64) << 56) | self.hash56
+        self.0
     }
 
     /// Unpacks from the 64-bit wire representation.
     #[inline]
     pub const fn from_u64(v: u64) -> Self {
-        CapValue { ts: (v >> 56) as u8, hash56: v & ((1u64 << 56) - 1) }
+        CapValue(v)
     }
 }
 
 impl fmt::Debug for CapValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CapValue(ts={}, h={:014x})", self.ts, self.hash56)
+        write!(f, "CapValue(ts={}, h={:014x})", self.timestamp(), self.hash56())
     }
 }
 
@@ -87,7 +94,7 @@ impl fmt::Debug for FlowNonce {
 /// incoming interface; downstream, requests are fair-queued by their most
 /// recent tag, which approximates a source locator that attackers cannot
 /// spoof beyond their own ingress.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PathId(pub u16);
 
 impl PathId {
@@ -112,7 +119,7 @@ impl fmt::Debug for PathId {
 /// router's pre-capability stamp, plus a path-identifier tag if that router
 /// sits at a trust boundary (Figure 5 pairs each blank capability slot with a
 /// path-id slot; untagged slots carry [`PathId::NONE`]).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
 pub struct RequestEntry {
     /// Trust-boundary tag, or [`PathId::NONE`].
     pub path_id: PathId,

@@ -8,7 +8,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::cap::{CapValue, FlowNonce, PathId, RequestEntry, MAX_PATH_ROUTERS};
+use crate::cap::{CapList, CapValue, FlowNonce, PathId, RequestEntry, RequestList, MAX_PATH_ROUTERS};
 use crate::error::WireError;
 use crate::header::{CapHeader, CapKind, CapPayload, ReturnInfo, VERSION};
 use crate::nt::Grant;
@@ -112,7 +112,7 @@ pub fn decode_prefix(buf: &[u8]) -> Result<(CapHeader, u8, usize), WireError> {
             if num > MAX_PATH_ROUTERS {
                 return Err(WireError::BadCount(num));
             }
-            let mut entries = Vec::with_capacity(num);
+            let mut entries = RequestList::new();
             for _ in 0..num {
                 need(&buf, 10)?;
                 let path_id = PathId(buf.get_u16());
@@ -137,7 +137,7 @@ pub fn decode_prefix(buf: &[u8]) -> Result<(CapHeader, u8, usize), WireError> {
                     return Err(WireError::BadCount(num));
                 }
                 let grant = Grant::unpack(buf.get_u16());
-                let mut list = Vec::with_capacity(num);
+                let mut list = CapList::new();
                 for _ in 0..num {
                     need(&buf, 8)?;
                     list.push(CapValue::from_u64(buf.get_u64()));
@@ -159,7 +159,7 @@ pub fn decode_prefix(buf: &[u8]) -> Result<(CapHeader, u8, usize), WireError> {
                     return Err(WireError::BadCount(num));
                 }
                 let grant = Grant::unpack(buf.get_u16());
-                let mut caps = Vec::with_capacity(num);
+                let mut caps = CapList::new();
                 for _ in 0..num {
                     need(&buf, 8)?;
                     caps.push(CapValue::from_u64(buf.get_u64()));
@@ -183,8 +183,8 @@ pub fn decode_prefix(buf: &[u8]) -> Result<(CapHeader, u8, usize), WireError> {
 mod tests {
     use super::*;
 
-    fn sample_caps() -> Vec<CapValue> {
-        vec![CapValue::new(10, 0xAABBCC), CapValue::new(200, 0x112233445566)]
+    fn sample_caps() -> CapList {
+        [CapValue::new(10, 0xAABBCC), CapValue::new(200, 0x112233445566)].into()
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! xx10: regular w/ nonce only          xx11: renewal
 //! ```
 
-use crate::cap::{CapValue, FlowNonce, RequestEntry, MAX_PATH_ROUTERS};
+use crate::cap::{CapList, FlowNonce, RequestList, MAX_PATH_ROUTERS};
 use crate::nt::Grant;
 
 /// Protocol version carried in the common header.
@@ -53,13 +53,18 @@ impl CapKind {
 }
 
 /// The variable payload that follows the common header.
+///
+/// Deliberately large: the TTL-bounded lists live inline (see
+/// `InlineList`) so a `Packet` owns no heap — boxing the big variant
+/// would reintroduce the per-packet allocation the pool exists to avoid.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum CapPayload {
     /// Request: the per-router entries accumulated so far (path-id + blank
     /// capability pairs that routers fill in).
     Request {
         /// Entries appended by routers; index order is path order.
-        entries: Vec<RequestEntry>,
+        entries: RequestList,
     },
     /// Regular data packet.
     Regular {
@@ -74,7 +79,7 @@ pub enum CapPayload {
         /// packets, or packets sent while the router cache is cold); `None`
         /// for nonce-only packets. The `Grant` is the (N, T) the destination
         /// authorized — routers need it to recompute the capability hash.
-        caps: Option<(Grant, Vec<CapValue>)>,
+        caps: Option<(Grant, CapList)>,
         /// True for renewal packets: routers replace the capability at their
         /// position with a freshly minted pre-capability.
         renewal: bool,
@@ -95,6 +100,9 @@ impl CapPayload {
 
 /// Return information piggybacked toward the *sender* of the reverse flow
 /// (present when the return bit of the type nibble is set).
+///
+/// Inline capability list for the same reason as [`CapPayload`].
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ReturnInfo {
     /// Notifies the peer that its packets were demoted somewhere on the path
@@ -107,7 +115,7 @@ pub enum ReturnInfo {
         grant: Grant,
         /// One capability per router on the forward path, in path order.
         /// Empty means the destination *refused* the request (§4.2).
-        caps: Vec<CapValue>,
+        caps: CapList,
     },
 }
 
@@ -129,19 +137,19 @@ impl CapHeader {
     pub fn request() -> Self {
         CapHeader {
             demoted: false,
-            payload: CapPayload::Request { entries: Vec::new() },
+            payload: CapPayload::Request { entries: RequestList::new() },
             return_info: None,
         }
     }
 
     /// A regular data header carrying the full capability list.
-    pub fn regular_with_caps(nonce: FlowNonce, grant: Grant, caps: Vec<CapValue>) -> Self {
+    pub fn regular_with_caps(nonce: FlowNonce, grant: Grant, caps: impl Into<CapList>) -> Self {
         CapHeader {
             demoted: false,
             payload: CapPayload::Regular {
                 nonce,
                 ptr: 0,
-                caps: Some((grant, caps)),
+                caps: Some((grant, caps.into())),
                 renewal: false,
             },
             return_info: None,
@@ -158,13 +166,13 @@ impl CapHeader {
     }
 
     /// A renewal header: valid capabilities plus a request for fresh ones.
-    pub fn renewal(nonce: FlowNonce, grant: Grant, caps: Vec<CapValue>) -> Self {
+    pub fn renewal(nonce: FlowNonce, grant: Grant, caps: impl Into<CapList>) -> Self {
         CapHeader {
             demoted: false,
             payload: CapPayload::Regular {
                 nonce,
                 ptr: 0,
-                caps: Some((grant, caps)),
+                caps: Some((grant, caps.into())),
                 renewal: true,
             },
             return_info: None,
@@ -271,9 +279,9 @@ mod tests {
         // Nonce-only: 2 (common) + 6 (nonce) = 8.
         assert_eq!(CapHeader::regular_nonce_only(FlowNonce::new(1)).encoded_len(), 8);
         // Request with 2 entries: 2 + 2 + 2*10 = 24.
+        use crate::cap::{CapValue, PathId, RequestEntry};
         let mut r = CapHeader::request();
         if let CapPayload::Request { entries } = &mut r.payload {
-            use crate::cap::{CapValue, PathId, RequestEntry};
             entries.push(RequestEntry { path_id: PathId(1), precap: CapValue::new(0, 1) });
             entries.push(RequestEntry { path_id: PathId::NONE, precap: CapValue::new(0, 2) });
         }

@@ -1,0 +1,208 @@
+//! A fixed-capacity inline list: the allocation-free backing store for the
+//! capability and request lists of the shim header.
+//!
+//! The paper bounds the capability list by the path length (§4.1: one entry
+//! per capability router, and the TTL bounds the path), so the header never
+//! needs a growable vector. Storing the entries inline keeps packet
+//! construction, cloning and dropping allocation-free on the forwarding
+//! fast path — the property the §4.3 "bounded state" argument rests on.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// A list of at most `N` elements stored inline (no heap allocation).
+///
+/// Dereferences to a slice of the live prefix, so iteration, indexing and
+/// slice methods work exactly as they did on the `Vec` it replaces.
+/// Equality, hashing and debug formatting all see only the live prefix.
+#[derive(Clone, Copy)]
+pub struct InlineList<T, const N: usize> {
+    len: u8,
+    items: [T; N],
+}
+
+impl<T: Copy + Default, const N: usize> InlineList<T, N> {
+    /// An empty list.
+    pub fn new() -> Self {
+        InlineList { len: 0, items: [T::default(); N] }
+    }
+
+    /// Appends an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is full. Callers on the router path check
+    /// remaining capacity first (as the wire format's count bound demands);
+    /// the codec rejects oversized counts before ever pushing.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        assert!((self.len as usize) < N, "InlineList capacity ({N}) exceeded");
+        self.items[self.len as usize] = item;
+        self.len += 1;
+    }
+
+    /// Removes all elements.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineList<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const N: usize> Deref for InlineList<T, N> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl<T, const N: usize> DerefMut for InlineList<T, N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.items[..self.len as usize]
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<&[T]> for InlineList<T, N> {
+    fn from(slice: &[T]) -> Self {
+        let mut list = Self::new();
+        for &item in slice {
+            list.push(item);
+        }
+        list
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for InlineList<T, N> {
+    fn from(v: Vec<T>) -> Self {
+        Self::from(v.as_slice())
+    }
+}
+
+impl<T: Copy + Default, const N: usize, const M: usize> From<[T; M]> for InlineList<T, N> {
+    fn from(arr: [T; M]) -> Self {
+        Self::from(arr.as_slice())
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineList<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut list = Self::new();
+        for item in iter {
+            list.push(item);
+        }
+        list
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a InlineList<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for InlineList<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq<Vec<T>> for InlineList<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for InlineList<T, N> {}
+
+impl<T: Hash, const N: usize> Hash for InlineList<T, N> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        Hash::hash(&self[..], state)
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for InlineList<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self[..], f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type L = InlineList<u32, 4>;
+
+    #[test]
+    fn starts_empty_and_grows() {
+        let mut l = L::new();
+        assert!(l.is_empty());
+        l.push(1);
+        l.push(2);
+        assert_eq!(l.len(), 2);
+        assert_eq!(&l[..], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn push_past_capacity_panics() {
+        let mut l = L::new();
+        for i in 0..5 {
+            l.push(i);
+        }
+    }
+
+    #[test]
+    fn equality_ignores_dead_slots() {
+        let mut a = L::new();
+        a.push(7);
+        a.push(8);
+        a.push(9);
+        // Shrink: the dead third slot still holds 9 internally.
+        let trimmed: L = a[..2].into();
+        let mut b = L::new();
+        b.push(7);
+        b.push(8);
+        assert_eq!(trimmed, b);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        let l: L = v.clone().into();
+        assert_eq!(l, v);
+        let back: Vec<u32> = l.iter().copied().collect();
+        assert_eq!(back, v);
+        let from_arr: L = [4u32, 5].into();
+        assert_eq!(&from_arr[..], &[4, 5]);
+    }
+
+    #[test]
+    fn clear_resets_len() {
+        let mut l = L::new();
+        l.push(1);
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l, L::new());
+    }
+
+    #[test]
+    fn slice_mutation_via_deref_mut() {
+        let mut l = L::new();
+        l.push(1);
+        l.push(2);
+        l[0] = 10;
+        assert_eq!(&l[..], &[10, 2]);
+    }
+}

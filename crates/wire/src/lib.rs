@@ -19,12 +19,13 @@ pub mod codec;
 pub mod error;
 pub mod fasthash;
 pub mod header;
+pub mod inline;
 pub mod ipcodec;
 pub mod nt;
 pub mod packet;
 
 pub use addr::{Addr, FlowKey};
-pub use cap::{CapValue, FlowNonce, PathId, RequestEntry, MAX_PATH_ROUTERS};
+pub use cap::{CapList, CapValue, FlowNonce, PathId, RequestEntry, RequestList, MAX_PATH_ROUTERS};
 pub use codec::{decode, decode_prefix, encode};
 pub use ipcodec::{
     decode_packet, encode_packet, internet_checksum, IPPROTO_DATA, IPPROTO_TCP, IPPROTO_TVA,
@@ -32,5 +33,6 @@ pub use ipcodec::{
 pub use error::WireError;
 pub use fasthash::{DetBuildHasher, DetHashMap, DetHashSet, FastHasher};
 pub use header::{CapHeader, CapKind, CapPayload, ReturnInfo, VERSION};
+pub use inline::InlineList;
 pub use nt::{Grant, NBytes, TSecs};
 pub use packet::{Packet, PacketId, PacketIdGen, TcpFlags, TcpSegment, IP_HEADER_LEN, TCP_HEADER_LEN};

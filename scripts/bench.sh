@@ -1,10 +1,24 @@
 #!/usr/bin/env bash
 # Runs the tracked simulator benchmark and updates BENCH_sim.json at the
-# repo root. Refuses to record a >10% regression (engine events/sec down or
-# fig8 sweep wall time up) against the existing baseline unless --force is
-# passed; see crates/bench/src/bin/bench.rs for the gate itself.
+# repo root. Refuses to record a >10% regression (engine events/sec down,
+# fig8 sweep wall time up, or steady-state allocations per forwarded
+# packet up) against the existing baseline unless --force is passed; see
+# crates/bench/src/bin/bench.rs for the gate itself.
 #
-# Usage: scripts/bench.sh [--force] [--engine-only] [--out PATH]
+# The `alloc-count` feature installs the counting global allocator so the
+# allocations-per-packet metric is measured, not skipped. Set
+# TVA_BENCH_ENGINE_REPS to raise the best-of repetition count on noisy
+# machines.
+#
+# Alongside the tracked baseline, the full internet-scale tree (~100k
+# hosts / 10k attackers) runs once and writes results/scale.{tsv,json};
+# skipped under --engine-only. Usage:
+#
+#   scripts/bench.sh [--force] [--engine-only] [--out PATH]
 set -euo pipefail
 cd "$(dirname "$0")/.."
-exec cargo run --release -q -p tva-bench --bin bench -- "$@"
+cargo run --release -q -p tva-bench --features alloc-count --bin bench -- "$@"
+for arg in "$@"; do
+  [ "$arg" = --engine-only ] && exit 0
+done
+cargo run --release -q -p tva-bench --features alloc-count --bin scale

@@ -16,4 +16,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> fault-injection smoke (loss sweep + mid-transfer link failure)"
 cargo run --release -q -p tva-experiments --bin robustness -- --smoke
 
+echo "==> allocation discipline (counting allocator, steady-state dumbbell)"
+cargo test -q --release -p tva-bench --features alloc-count --test alloc_steady
+
+echo "==> internet-scale tree, quick variant (~10k hosts)"
+cargo run --release -q -p tva-bench --bin scale -- --quick --out-dir target/verify-scale
+
 echo "verify: OK"
