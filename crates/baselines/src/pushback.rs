@@ -86,6 +86,18 @@ pub struct PushbackStats {
     pub congested_reviews: u64,
 }
 
+impl tva_obs::Observe for PushbackStats {
+    fn observe(&self, prefix: &str, reg: &mut tva_obs::Registry) {
+        let mut set = |name: &str, v: u64| {
+            let id = reg.counter(&format!("{prefix}.{name}"));
+            reg.set_counter(id, v);
+        };
+        set("filtered_drops", self.filtered_drops);
+        set("active_filters", self.active_filters as u64);
+        set("congested_reviews", self.congested_reviews);
+    }
+}
+
 /// The pushback router node.
 pub struct PushbackRouterNode {
     cfg: PushbackConfig,

@@ -21,6 +21,19 @@ pub struct SiffStats {
     pub legacy: u64,
 }
 
+impl tva_obs::Observe for SiffStats {
+    fn observe(&self, prefix: &str, reg: &mut tva_obs::Registry) {
+        let mut set = |name: &str, v: u64| {
+            let id = reg.counter(&format!("{prefix}.{name}"));
+            reg.set_counter(id, v);
+        };
+        set("explorers_marked", self.explorers_marked);
+        set("data_verified", self.data_verified);
+        set("data_dropped", self.data_dropped);
+        set("legacy", self.legacy);
+    }
+}
+
 /// How the router disposed of a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SiffVerdict {

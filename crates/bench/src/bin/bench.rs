@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use serde_json::{Map, Value};
 use tva_bench::alloc;
-use tva_bench::dumbbell::run_dumbbell;
+use tva_bench::dumbbell::{run_dumbbell, run_dumbbell_observed};
 use tva_bench::scale::{run_scale, ScaleConfig};
 use tva_experiments::{fig8, run_all, Fidelity};
 
@@ -71,6 +71,26 @@ fn main() {
     }
     let events_per_sec = events as f64 / best_wall;
     eprintln!("engine: {events_per_sec:.0} events/sec (best of {reps})");
+
+    // Same workload with the observability hook live (flight-recorder ring
+    // fed by a tracer) to price what an obs-enabled run pays. The obs-OFF
+    // number above is what the baseline gate guards: the disabled hook must
+    // stay one dead branch per event.
+    eprintln!("engine obs-on: {reps}x {ENGINE_SIM_SECS}s dumbbell ...");
+    let mut best_wall_obs = f64::INFINITY;
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        let run = run_dumbbell_observed(ENGINE_SIM_SECS);
+        let wall = t0.elapsed().as_secs_f64();
+        eprintln!("  run {}: {} events in {wall:.3}s", rep + 1, run.events);
+        assert_eq!(run.events, events, "tracing must not perturb the simulation");
+        best_wall_obs = best_wall_obs.min(wall);
+    }
+    let events_per_sec_obs = events as f64 / best_wall_obs;
+    let obs_overhead_pct = (best_wall_obs / best_wall - 1.0) * 100.0;
+    eprintln!(
+        "engine obs-on: {events_per_sec_obs:.0} events/sec ({obs_overhead_pct:+.1}% vs obs-off)"
+    );
 
     // Steady-state allocation accounting: the reps above warmed the packet
     // pool and every long-lived table, so one more run measures only what
@@ -176,6 +196,14 @@ fn main() {
     map.insert("engine_events_per_sec".into(), Value::Number(events_per_sec.round()));
     map.insert("engine_sim_secs".into(), Value::Number(ENGINE_SIM_SECS as f64));
     map.insert("engine_wall_s".into(), Value::Number((best_wall * 1000.0).round() / 1000.0));
+    map.insert(
+        "engine_events_per_sec_obs".into(),
+        Value::Number(events_per_sec_obs.round()),
+    );
+    map.insert(
+        "obs_overhead_pct".into(),
+        Value::Number((obs_overhead_pct * 10.0).round() / 10.0),
+    );
     if let Some(app) = allocs_per_packet {
         map.insert("allocs_per_packet".into(), Value::Number((app * 10_000.0).round() / 10_000.0));
     } else if let Some(app) = kept_allocs {
@@ -211,8 +239,7 @@ fn main() {
     println!("wrote {out}");
 }
 
-/// Extracts `"key": <number>` from a flat JSON object without a parser
-/// dependency (the vendored serde_json only serializes).
+/// Extracts `"key": <number>` from a flat JSON object.
 fn metric(text: &str, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\":");
     let at = text.find(&needle)? + needle.len();

@@ -69,7 +69,39 @@ fn main() {
     let json = format!("{out_dir}/scale.json");
     std::fs::write(&tsv, tsv_report(&run)).expect("write scale.tsv");
     std::fs::write(&json, json_report(&run)).expect("write scale.json");
-    println!("wrote {tsv} and {json}");
+    let metrics = format!("{out_dir}/scale_metrics.json");
+    tva_experiments::write_snapshot(
+        std::path::Path::new(&metrics),
+        "scale",
+        &metrics_registry(&run),
+    )
+    .expect("write scale_metrics.json");
+    println!("wrote {tsv}, {json} and {metrics}");
+}
+
+/// Folds the headline scale numbers into a metrics registry so the run is
+/// exported in the same snapshot-document schema as the robustness sweep.
+fn metrics_registry(r: &ScaleRun) -> tva_obs::Registry {
+    let mut reg = tva_obs::Registry::new();
+    let c = |reg: &mut tva_obs::Registry, name: &str, v: u64| {
+        let id = reg.counter(name);
+        reg.set_counter(id, v);
+    };
+    c(&mut reg, "scale.hosts", r.hosts as u64);
+    c(&mut reg, "scale.attackers", r.attackers as u64);
+    c(&mut reg, "scale.routers", r.routers as u64);
+    c(&mut reg, "scale.events", r.events);
+    c(&mut reg, "scale.bottleneck_tx_pkts", r.bottleneck_tx_pkts);
+    c(&mut reg, "scale.attack_pkts_emitted", r.attack_pkts_emitted);
+    c(&mut reg, "scale.peak_rss_kb", r.peak_rss_kb.unwrap_or(0));
+    let g = |reg: &mut tva_obs::Registry, name: &str, v: f64| {
+        let id = reg.gauge(name);
+        reg.set(id, v);
+    };
+    g(&mut reg, "scale.build_s", r.build_s);
+    g(&mut reg, "scale.run_s", r.run_s);
+    g(&mut reg, "scale.events_per_sec", r.events_per_sec);
+    reg
 }
 
 fn tsv_report(r: &ScaleRun) -> String {

@@ -22,6 +22,19 @@ pub struct DumbbellRun {
 
 /// Builds a 5-user TVA dumbbell and runs `sim_secs` of simulated time.
 pub fn run_dumbbell(sim_secs: u64) -> DumbbellRun {
+    run_dumbbell_with(sim_secs, false)
+}
+
+/// The same dumbbell with the observability hook live: a tracer is
+/// installed and every trace event goes through the flight-recorder ring,
+/// the way an obs-enabled run pays for it. The `bench` binary compares
+/// this against [`run_dumbbell`] to price the hook (`obs_overhead_pct` in
+/// `BENCH_sim.json`).
+pub fn run_dumbbell_observed(sim_secs: u64) -> DumbbellRun {
+    run_dumbbell_with(sim_secs, true)
+}
+
+fn run_dumbbell_with(sim_secs: u64, observed: bool) -> DumbbellRun {
     let cfg1 = RouterConfig { secret_seed: 1, ..Default::default() };
     let cfg2 = RouterConfig { secret_seed: 2, ..Default::default() };
     let mut t = TopologyBuilder::new();
@@ -84,7 +97,14 @@ pub fn run_dumbbell(sim_secs: u64) -> DumbbellRun {
     for &c in &clients {
         sim.kick(c, TOKEN_START);
     }
+    if observed {
+        tva_obs::install_thread_flight(4096);
+        sim.set_tracer(Some(tva_obs::flight_tracer()));
+    }
     sim.run_until(SimTime::from_secs(sim_secs));
+    if observed {
+        tva_obs::clear_thread_flight();
+    }
     DumbbellRun {
         bottleneck_tx_pkts: sim.channel(link.ab).stats.tx_pkts,
         events: sim.events_processed(),

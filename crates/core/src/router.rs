@@ -59,6 +59,44 @@ pub struct RouterStats {
     pub malformed_drops: u64,
 }
 
+impl RouterStats {
+    /// Fraction of accepted regular-path packets that hit the nonce cache
+    /// instead of needing the two-hash slow path (0 when none processed) —
+    /// the Table 1 fast/slow-path split as a single rate.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.nonce_hits + self.full_validations;
+        if total == 0 {
+            0.0
+        } else {
+            self.nonce_hits as f64 / total as f64
+        }
+    }
+}
+
+impl tva_obs::Observe for RouterStats {
+    fn observe(&self, prefix: &str, reg: &mut tva_obs::Registry) {
+        let mut set = |name: &str, v: u64| {
+            let id = reg.counter(&format!("{prefix}.{name}"));
+            reg.set_counter(id, v);
+        };
+        set("requests_stamped", self.requests_stamped);
+        set("nonce_hits", self.nonce_hits);
+        set("full_validations", self.full_validations);
+        set("renewals", self.renewals);
+        set("demotions", self.demotions);
+        set("demoted_expired", self.demoted_expired);
+        set("demoted_over_budget", self.demoted_over_budget);
+        set("demoted_no_caps", self.demoted_no_caps);
+        set("demoted_bad_cap", self.demoted_bad_cap);
+        set("regular_bytes", self.regular_bytes);
+        set("legacy", self.legacy);
+        set("table_admission_failures", self.table_admission_failures);
+        set("malformed_drops", self.malformed_drops);
+        let g = reg.gauge(&format!("{prefix}.cache_hit_rate"));
+        reg.set(g, self.cache_hit_rate());
+    }
+}
+
 /// The result of processing one packet (exposed for the benchmarks, which
 /// drive [`TvaRouter::process`] directly).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

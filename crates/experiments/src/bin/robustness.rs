@@ -10,7 +10,8 @@
 //! backup path, and writes nothing (CI fault-injection check).
 
 use tva_experiments::figrun::{results_dir, write_json};
-use tva_experiments::robustness::{run, LinkFailure, RobustnessConfig, RobustnessResult};
+use tva_experiments::observe::write_snapshot;
+use tva_experiments::robustness::{fold_metrics, run, LinkFailure, RobustnessConfig, RobustnessResult};
 use tva_experiments::{table, write_tsv, Scheme};
 use tva_sim::{SimDuration, SimTime};
 
@@ -157,8 +158,20 @@ fn main() {
 
     eprintln!("== robustness: {} runs ==", configs.len());
     let mut rows = Vec::new();
+    let mut registry = tva_obs::Registry::new();
     for (i, cfg) in configs.iter().enumerate() {
         let r = run(cfg);
+        fold_metrics(
+            &format!(
+                "{}.loss{:.2}.corrupt{:.2}.fail{}",
+                cfg.scheme.name(),
+                cfg.loss,
+                cfg.corrupt,
+                cfg.link_failure.is_some() as u8
+            ),
+            &r,
+            &mut registry,
+        );
         eprintln!(
             "  [{}/{}] {} loss={:.2} corrupt={:.2} failure={} fraction={:.3}",
             i + 1,
@@ -181,4 +194,10 @@ fn main() {
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
     write_json("robustness", &HEADERS, &rows);
+
+    let metrics_path = results_dir().join("robustness_metrics.json");
+    match write_snapshot(&metrics_path, "robustness", &registry) {
+        Ok(()) => println!("wrote {}", metrics_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", metrics_path.display()),
+    }
 }

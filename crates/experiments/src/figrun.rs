@@ -69,6 +69,74 @@ pub fn run_sweep_figure(name: &str, title: &str, configs: Vec<ScenarioConfig>) {
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
     write_json(name, &headers, &rows);
+    obs_pass(name, &results);
+}
+
+/// When `TVA_OBS` is enabled, re-runs the heaviest configuration of each
+/// scheme with full observability: time-bucketed series, a metrics registry
+/// snapshot, and (with `TVA_OBS_PERFETTO`) packet-level traces. The sweep
+/// above is untouched, so its TSV/JSON stay byte-identical with obs on or
+/// off; the dynamics panel below is charted from the series JSON written to
+/// disk rather than in-memory state, so the artifact itself is exercised.
+fn obs_pass(name: &str, results: &[(ScenarioConfig, ScenarioResult)]) {
+    let ocfg = tva_obs::ObsConfig::from_env();
+    if !ocfg.enabled {
+        return;
+    }
+    for &scheme in &Scheme::ALL {
+        let Some((cfg, _)) =
+            results.iter().filter(|(c, _)| c.scheme == scheme).max_by_key(|(c, _)| c.n_attackers)
+        else {
+            continue;
+        };
+        eprintln!("  [obs] {name} {} k={}", scheme.name(), cfg.n_attackers);
+        let run = crate::observe::run_observed(cfg, &ocfg);
+        let paths = match crate::observe::write_observed(name, &run, scheme, &ocfg) {
+            Ok(paths) => paths,
+            Err(e) => {
+                eprintln!("  [obs] write failed for {}: {e}", scheme.name());
+                continue;
+            }
+        };
+        for p in &paths {
+            println!("wrote {}", p.display());
+        }
+        if let Some(dump) = &run.anomaly_dump {
+            println!("flight recorder (drop-rate spike): {}", dump.display());
+        }
+        if let Some(points) = paths
+            .iter()
+            .find(|p| p.to_string_lossy().ends_with("_series.json"))
+            .and_then(|p| series_from_json(p, "bottleneck.queue_pkts"))
+        {
+            println!(
+                "{}",
+                ascii_chart(
+                    &format!("{name}: bottleneck queue depth (pkts) — {}", scheme.name()),
+                    &[Series { label: scheme.name().into(), points }],
+                    60,
+                    10,
+                )
+            );
+        }
+    }
+}
+
+/// Reads one named column back out of a `*_series.json` artifact as
+/// `(t, value)` points.
+fn series_from_json(path: &std::path::Path, column: &str) -> Option<Vec<(f64, f64)>> {
+    use serde_json::Value;
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = serde_json::from_str(&text).ok()?;
+    let Value::Object(root) = doc else { return None };
+    let Value::Array(times) = root.get("t")? else { return None };
+    let Value::Object(series) = root.get("series")? else { return None };
+    let Value::Array(vals) = series.get(column)? else { return None };
+    let num = |v: &Value| match v {
+        Value::Number(n) => Some(*n),
+        _ => None,
+    };
+    times.iter().zip(vals).map(|(t, v)| Some((num(t)?, num(v)?))).collect()
 }
 
 /// Writes rows as a JSON array of string-valued records next to the TSV.

@@ -18,16 +18,18 @@
 
 pub mod figrun;
 pub mod figures;
+pub mod observe;
 pub mod report;
 pub mod robustness;
 pub mod scenario;
 pub mod sweep;
 
 pub use figures::{fig10, fig11, fig8, fig9, Fidelity};
+pub use observe::{run_observed, snapshot_document, write_observed, write_snapshot, ObservedRun};
 pub use report::{ascii_chart, table, write_tsv, Series};
 pub use scenario::{
-    attacker_addr, run, run_inspect, Attack, BuiltNodes, ScenarioConfig, ScenarioResult, Scheme,
-    COLLUDER, DEST,
+    attacker_addr, run, run_driven, run_inspect, Attack, BuiltNodes, ScenarioConfig,
+    ScenarioResult, Scheme, COLLUDER, DEST,
 };
 pub use robustness::{LinkFailure, RobustnessConfig, RobustnessResult};
 pub use sweep::{run_all, run_all_checked, SweepFailure};

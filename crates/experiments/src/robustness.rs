@@ -340,6 +340,35 @@ pub fn run(cfg: &RobustnessConfig) -> RobustnessResult {
     }
 }
 
+/// Folds one robustness result into a metrics registry under `prefix.`,
+/// so a whole robustness sweep can be exported as a single snapshot
+/// document (`results/robustness_metrics.json`). The key set per prefix is
+/// schema-stable: every field is always present, even when zero.
+pub fn fold_metrics(prefix: &str, r: &RobustnessResult, reg: &mut tva_obs::Registry) {
+    let mut c = |name: &str, v: u64| {
+        let id = reg.counter(&format!("{prefix}.{name}"));
+        reg.set_counter(id, v);
+    };
+    c("attempts", r.summary.attempts as u64);
+    c("completed", r.summary.completed as u64);
+    c("completed_after_failure", r.completed_after_failure as u64);
+    c("reconvergences", r.reconvergences);
+    c("backup_pkts", r.backup_pkts);
+    c("backup_requests_stamped", r.backup_requests_stamped);
+    c("backup_validations", r.backup_validations);
+    c("lost_pkts", r.lost_pkts);
+    c("corrupted_pkts", r.corrupted_pkts);
+    c("malformed_pkts", r.malformed_pkts);
+    c("malformed_drops", r.malformed_drops);
+    let mut g = |name: &str, v: f64| {
+        let id = reg.gauge(&format!("{prefix}.{name}"));
+        reg.set(id, v);
+    };
+    g("completion_fraction", r.summary.completion_fraction);
+    g("avg_completion_secs", r.summary.avg_completion_secs);
+    g("p95_secs", r.summary.p95_secs);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +380,50 @@ mod tests {
             duration: SimTime::from_secs(30),
             failure_grace: SimDuration::from_secs(10),
             ..RobustnessConfig::default()
+        }
+    }
+
+    #[test]
+    fn fold_metrics_key_set_is_schema_stable() {
+        // The robustness snapshot's consumers key on exact metric names:
+        // every field must appear under the prefix even when zero.
+        let r = RobustnessResult {
+            summary: summarize(&[]),
+            completed_after_failure: 0,
+            reconvergences: 2,
+            backup_pkts: 0,
+            backup_requests_stamped: 0,
+            backup_validations: 0,
+            lost_pkts: 0,
+            corrupted_pkts: 0,
+            malformed_pkts: 0,
+            malformed_drops: 0,
+        };
+        let mut reg = tva_obs::Registry::new();
+        fold_metrics("tva.loss0.00", &r, &mut reg);
+        for key in [
+            "attempts",
+            "completed",
+            "completed_after_failure",
+            "reconvergences",
+            "backup_pkts",
+            "backup_requests_stamped",
+            "backup_validations",
+            "lost_pkts",
+            "corrupted_pkts",
+            "malformed_pkts",
+            "malformed_drops",
+        ] {
+            assert!(
+                reg.counter_by_name(&format!("tva.loss0.00.{key}")).is_some(),
+                "missing counter {key}"
+            );
+        }
+        assert_eq!(reg.counter_by_name("tva.loss0.00.reconvergences"), Some(2));
+        let doc = crate::observe::snapshot_document("robustness", &reg);
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        for top in ["\"label\"", "\"schema_version\"", "\"metrics\"", "\"gauges\""] {
+            assert!(text.contains(top), "snapshot document missing {top}: {text}");
         }
     }
 

@@ -189,10 +189,11 @@ const LINK_DELAY: SimDuration = SimDuration::from_millis(10);
 const HOST_QUEUE: u64 = 1 << 20;
 const ROUTER_QUEUE_PKTS: usize = 50;
 
-/// Runs one scenario to completion.
+/// Runs one scenario to completion. When `TVA_OBS_FLIGHT` requests a
+/// flight recorder, the run feeds this thread's ring so a panic anywhere
+/// (including inside a sweep worker) can dump recent packet history.
 pub fn run(cfg: &ScenarioConfig) -> ScenarioResult {
-    let mut b = Builder::new(cfg);
-    b.build_and_run(|_, _| {})
+    run_driven(cfg, default_driver(cfg), |_, _| {})
 }
 
 /// Node ids of the built testbed, for post-run inspection.
@@ -208,6 +209,8 @@ pub struct BuiltNodes {
     pub clients: Vec<NodeId>,
     /// Attackers, in index order.
     pub attackers: Vec<NodeId>,
+    /// The bottleneck link (r1→r2 direction is `.ab`).
+    pub bottleneck: LinkHandle,
 }
 
 /// Like [`run`], but hands the finished simulator to `inspect` before
@@ -216,8 +219,37 @@ pub fn run_inspect(
     cfg: &ScenarioConfig,
     inspect: impl FnOnce(&tva_sim::Simulator, &BuiltNodes),
 ) -> ScenarioResult {
+    run_driven(cfg, default_driver(cfg), inspect)
+}
+
+/// The standard run loop: install the env-configured flight recorder (if
+/// any) and run straight to the horizon.
+fn default_driver(
+    cfg: &ScenarioConfig,
+) -> impl FnOnce(&mut tva_sim::Simulator, &BuiltNodes) {
+    let end = cfg.duration;
+    move |sim, _| {
+        let flight = tva_obs::ObsConfig::from_env().flight_events;
+        if flight > 0 {
+            tva_obs::install_thread_flight(flight);
+            sim.set_tracer(Some(tva_obs::flight_tracer()));
+        }
+        sim.run_until(end);
+    }
+}
+
+/// Fully general entry point: `drive` receives the built simulator (kicks
+/// already scheduled) and is responsible for advancing it to the horizon —
+/// this is how the observability layer steps the clock in sample-sized
+/// buckets and installs tracers without the builder knowing about either.
+/// `inspect` then sees the finished simulator before metrics collection.
+pub fn run_driven(
+    cfg: &ScenarioConfig,
+    drive: impl FnOnce(&mut tva_sim::Simulator, &BuiltNodes),
+    inspect: impl FnOnce(&tva_sim::Simulator, &BuiltNodes),
+) -> ScenarioResult {
     let mut b = Builder::new(cfg);
-    b.build_and_run(inspect)
+    b.build_and_run(drive, inspect)
 }
 
 struct Builder<'a> {
@@ -506,6 +538,7 @@ impl<'a> Builder<'a> {
 
     fn build_and_run(
         &mut self,
+        drive: impl FnOnce(&mut tva_sim::Simulator, &BuiltNodes),
         inspect: impl FnOnce(&tva_sim::Simulator, &BuiltNodes),
     ) -> ScenarioResult {
         let cfg = self.cfg.clone();
@@ -604,18 +637,17 @@ impl<'a> Builder<'a> {
         for &(node, token, at) in &self.kicks {
             sim.kick_at(node, token, at);
         }
-        sim.run_until(cfg.duration);
 
-        inspect(
-            &sim,
-            &BuiltNodes {
-                r1: self.r1,
-                r2: self.r2,
-                dest,
-                clients: self.clients.clone(),
-                attackers: self.attackers.clone(),
-            },
-        );
+        let nodes = BuiltNodes {
+            r1: self.r1,
+            r2: self.r2,
+            dest,
+            clients: self.clients.clone(),
+            attackers: self.attackers.clone(),
+            bottleneck,
+        };
+        drive(&mut sim, &nodes);
+        inspect(&sim, &nodes);
 
         // Collect metrics.
         let mut transfers = Vec::new();

@@ -10,6 +10,7 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::thread;
 
@@ -24,6 +25,10 @@ pub struct SweepFailure {
     pub config: ScenarioConfig,
     /// The panic payload, if it was a string.
     pub message: String,
+    /// Where the worker's flight-recorder ring was dumped, when a recorder
+    /// was active (`TVA_OBS_FLIGHT` > 0): the last packet-level events
+    /// before the panic, black-box style.
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl fmt::Display for SweepFailure {
@@ -38,7 +43,26 @@ impl fmt::Display for SweepFailure {
             self.config.n_users,
             self.config.seed,
             self.message,
-        )
+        )?;
+        if let Some(p) = &self.flight_dump {
+            write!(f, " [flight recorder: {}]", p.display())?;
+        }
+        Ok(())
+    }
+}
+
+/// Dumps the worker thread's flight recorder after a panic, returning the
+/// dump path if a recorder was active and the write succeeded.
+fn dump_flight_on_panic(index: usize) -> Option<PathBuf> {
+    let ocfg = tva_obs::ObsConfig::from_env();
+    if ocfg.flight_events == 0 {
+        return None;
+    }
+    std::fs::create_dir_all(&ocfg.dir).ok()?;
+    let path = ocfg.dir.join(format!("flight_panic_job{index}.json"));
+    match tva_obs::dump_thread_flight(&path, "panic in sweep job") {
+        Ok(true) => Some(path),
+        _ => None,
     }
 }
 
@@ -67,7 +91,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 enum Outcome {
     Done(Box<ScenarioResult>),
-    Panicked(String),
+    Panicked(String, Option<PathBuf>),
 }
 
 /// Runs every configuration in parallel, preserving order. Configurations
@@ -106,7 +130,9 @@ pub fn run_all_checked(
                 let Ok((i, cfg)) = job else { break };
                 let outcome = match catch_unwind(AssertUnwindSafe(|| run(&cfg))) {
                     Ok(result) => Outcome::Done(Box::new(result)),
-                    Err(payload) => Outcome::Panicked(panic_message(payload)),
+                    Err(payload) => {
+                        Outcome::Panicked(panic_message(payload), dump_flight_on_panic(i))
+                    }
                 };
                 if res_tx.send((i, cfg, outcome)).is_err() {
                     break;
@@ -132,7 +158,7 @@ pub fn run_all_checked(
                     );
                     slots[i] = Some((cfg, *result));
                 }
-                Outcome::Panicked(message) => {
+                Outcome::Panicked(message, flight_dump) => {
                     eprintln!(
                         "  [{}/{}] {} k={} PANICKED: {}",
                         done,
@@ -141,7 +167,7 @@ pub fn run_all_checked(
                         cfg.n_attackers,
                         message,
                     );
-                    failures.push(SweepFailure { index: i, config: cfg, message });
+                    failures.push(SweepFailure { index: i, config: cfg, message, flight_dump });
                 }
             }
         }

@@ -1,0 +1,73 @@
+//! `obscheck`: validates that observability artifacts are well-formed.
+//!
+//! Usage: `obscheck FILE...` — each `.json` file must parse as one JSON
+//! document; each `.jsonl` file must parse line-by-line. Perfetto traces
+//! (`*.perfetto.json` or any file containing a top-level `traceEvents`
+//! key) additionally have their event array shape checked. Exits non-zero
+//! on the first malformed file, printing which one and why.
+
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+fn check_perfetto(root: &Value) -> Result<(), String> {
+    let Value::Object(map) = root else {
+        return Err("perfetto trace root is not an object".into());
+    };
+    let Some(Value::Array(events)) = map.get("traceEvents") else {
+        return Err("missing traceEvents array".into());
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let Value::Object(m) = ev else {
+            return Err(format!("traceEvents[{i}] is not an object"));
+        };
+        for key in ["ph", "pid"] {
+            if m.get(key).is_none() {
+                return Err(format!("traceEvents[{i}] missing \"{key}\""));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    if path.ends_with(".jsonl") {
+        let mut n = 0usize;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            serde_json::from_str(line)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            n += 1;
+        }
+        return Ok(format!("{n} records"));
+    }
+    let root = serde_json::from_str(&text).map_err(|e| format!("parse failed: {e}"))?;
+    if let Value::Object(map) = &root {
+        if map.get("traceEvents").is_some() {
+            check_perfetto(&root)?;
+            return Ok("perfetto trace".into());
+        }
+    }
+    Ok("json".into())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: obscheck FILE...");
+        return ExitCode::from(2);
+    }
+    for path in &args {
+        match check_file(path) {
+            Ok(kind) => println!("ok {path} ({kind})"),
+            Err(e) => {
+                eprintln!("FAIL {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

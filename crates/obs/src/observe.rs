@@ -1,0 +1,66 @@
+//! The [`Observe`] trait: how existing stats structs publish themselves
+//! into a [`Registry`] under a name prefix.
+//!
+//! Scheme crates (core, baselines) implement this for their router stats
+//! so the experiment harness can fold every router in a topology into one
+//! metrics snapshot without knowing scheme internals.
+
+use tva_sim::ChannelStats;
+
+use crate::registry::Registry;
+
+/// Publishes a stats struct's current values into a registry, with every
+/// metric name prefixed `"{prefix}."`. Called at snapshot/sample time, so
+/// implementations may register on each call (registration is
+/// find-or-create and idempotent).
+pub trait Observe {
+    /// Folds current values into `reg` under `prefix`.
+    fn observe(&self, prefix: &str, reg: &mut Registry);
+}
+
+impl Observe for ChannelStats {
+    fn observe(&self, prefix: &str, reg: &mut Registry) {
+        let mut set = |name: &str, v: u64| {
+            let id = reg.counter(&format!("{prefix}.{name}"));
+            reg.set_counter(id, v);
+        };
+        set("enqueued_pkts", self.enqueued_pkts);
+        set("enqueued_bytes", self.enqueued_bytes);
+        set("dropped_pkts", self.dropped_pkts);
+        set("dropped_bytes", self.dropped_bytes);
+        set("tx_pkts", self.tx_pkts);
+        set("tx_bytes", self.tx_bytes);
+        set("lost_pkts", self.lost_pkts);
+        set("corrupted_pkts", self.corrupted_pkts);
+        set("queued_delay_ns", self.queued_delay_ns);
+        set("queued_delay_max_ns", self.queued_delay_max_ns);
+        let g = reg.gauge(&format!("{prefix}.drop_rate"));
+        reg.set(g, self.drop_rate());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_stats_publish_under_prefix() {
+        let mut reg = Registry::new();
+        let stats = ChannelStats {
+            enqueued_pkts: 75,
+            dropped_pkts: 25,
+            tx_pkts: 70,
+            tx_bytes: 70_000,
+            queued_delay_ns: 1_000,
+            queued_delay_max_ns: 400,
+            ..Default::default()
+        };
+        stats.observe("bottleneck", &mut reg);
+        assert_eq!(reg.counter_by_name("bottleneck.enqueued_pkts"), Some(75));
+        assert_eq!(reg.counter_by_name("bottleneck.tx_bytes"), Some(70_000));
+        assert_eq!(reg.counter_by_name("bottleneck.queued_delay_max_ns"), Some(400));
+        // Re-observing overwrites rather than double-counting.
+        stats.observe("bottleneck", &mut reg);
+        assert_eq!(reg.counter_by_name("bottleneck.dropped_pkts"), Some(25));
+    }
+}

@@ -1,0 +1,339 @@
+//! The metrics registry: named counters, gauges, and histograms behind
+//! copyable integer handles.
+//!
+//! Registration (name lookup, allocation) happens once, at setup time;
+//! after that every update is an array index — zero heap on the hot path.
+//! The [`Obs`] wrapper adds the disabled mode: a `None` registry makes
+//! every operation a single branch, so instrumented code can stay
+//! unconditionally written.
+
+use serde_json::{Map, Value};
+
+use crate::hist::Histogram;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(u32);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(u32);
+
+/// A registry of named metrics. Names are conventionally dotted paths
+/// (`r1.nonce_hits`, `bottleneck.queue_pkts`) so per-router / per-scheme /
+/// per-queue instances coexist in one namespace.
+#[derive(Default)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    hists: Vec<(String, Histogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or finds) a counter by name.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i as u32);
+        }
+        self.counters.push((name.to_string(), 0));
+        CounterId((self.counters.len() - 1) as u32)
+    }
+
+    /// Registers (or finds) a gauge by name.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i as u32);
+        }
+        self.gauges.push((name.to_string(), 0.0));
+        GaugeId((self.gauges.len() - 1) as u32)
+    }
+
+    /// Registers (or finds) a histogram by name.
+    pub fn hist(&mut self, name: &str) -> HistId {
+        if let Some(i) = self.hists.iter().position(|(n, _)| n == name) {
+            return HistId(i as u32);
+        }
+        self.hists.push((name.to_string(), Histogram::new()));
+        HistId((self.hists.len() - 1) as u32)
+    }
+
+    /// Increments a counter by 1.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0 as usize].1 += 1;
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0 as usize].1 += n;
+    }
+
+    /// Overwrites a counter with an externally-maintained total (for
+    /// folding pre-existing stats structs in at snapshot time).
+    #[inline]
+    pub fn set_counter(&mut self, id: CounterId, v: u64) {
+        self.counters[id.0 as usize].1 = v;
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, v: f64) {
+        self.gauges[id.0 as usize].1 = v;
+    }
+
+    /// Records a histogram sample.
+    #[inline]
+    pub fn record(&mut self, id: HistId, v: u64) {
+        self.hists[id.0 as usize].1.record(v);
+    }
+
+    /// Current counter value.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0 as usize].1
+    }
+
+    /// Current gauge value.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0 as usize].1
+    }
+
+    /// Borrow a histogram (reading quantiles).
+    pub fn histogram(&self, id: HistId) -> &Histogram {
+        &self.hists[id.0 as usize].1
+    }
+
+    /// Looks a counter value up by name (reporting/tests; linear scan).
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Registered metric count across all kinds.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.hists.len()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of every metric as a JSON object:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": { "name": 3, ... },
+    ///   "gauges": { "name": 0.5, ... },
+    ///   "histograms": { "name": {"count":…,"min":…,"max":…,"mean":…,
+    ///                            "p50":…,"p95":…,"p99":…}, ... }
+    /// }
+    /// ```
+    pub fn snapshot(&self) -> Value {
+        let mut counters = Map::new();
+        for (name, v) in &self.counters {
+            counters.insert(name.clone(), Value::Number(*v as f64));
+        }
+        let mut gauges = Map::new();
+        for (name, v) in &self.gauges {
+            gauges.insert(name.clone(), Value::Number(*v));
+        }
+        let mut hists = Map::new();
+        for (name, h) in &self.hists {
+            let mut m = Map::new();
+            m.insert("count".into(), Value::Number(h.count() as f64));
+            m.insert("min".into(), Value::Number(h.min() as f64));
+            m.insert("max".into(), Value::Number(h.max() as f64));
+            m.insert("mean".into(), Value::Number(h.mean()));
+            m.insert("p50".into(), Value::Number(h.quantile(0.5) as f64));
+            m.insert("p95".into(), Value::Number(h.quantile(0.95) as f64));
+            m.insert("p99".into(), Value::Number(h.quantile(0.99) as f64));
+            hists.insert(name.clone(), Value::Object(m));
+        }
+        let mut root = Map::new();
+        root.insert("counters".into(), Value::Object(counters));
+        root.insert("gauges".into(), Value::Object(gauges));
+        root.insert("histograms".into(), Value::Object(hists));
+        Value::Object(root)
+    }
+}
+
+/// An optionally-disabled registry: `Obs::off()` turns every update into
+/// one branch on a `None`, so the same instrumented code path serves both
+/// modes without `if` litter at call sites.
+#[derive(Default)]
+pub struct Obs {
+    reg: Option<Box<Registry>>,
+}
+
+impl Obs {
+    /// Observability off: all updates are single-branch no-ops.
+    pub fn off() -> Self {
+        Obs { reg: None }
+    }
+
+    /// Observability on, with a fresh registry.
+    pub fn on() -> Self {
+        Obs { reg: Some(Box::default()) }
+    }
+
+    /// Whether a registry is attached.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.reg.is_some()
+    }
+
+    /// Registers a counter; returns a handle that is safe to use either
+    /// way (updates through it are ignored when disabled).
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        match &mut self.reg {
+            Some(r) => r.counter(name),
+            None => CounterId(0),
+        }
+    }
+
+    /// Registers a gauge (no-op handle when disabled).
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        match &mut self.reg {
+            Some(r) => r.gauge(name),
+            None => GaugeId(0),
+        }
+    }
+
+    /// Registers a histogram (no-op handle when disabled).
+    pub fn hist(&mut self, name: &str) -> HistId {
+        match &mut self.reg {
+            Some(r) => r.hist(name),
+            None => HistId(0),
+        }
+    }
+
+    /// Increments a counter (one branch when disabled).
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        if let Some(r) = &mut self.reg {
+            r.inc(id);
+        }
+    }
+
+    /// Adds to a counter (one branch when disabled).
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        if let Some(r) = &mut self.reg {
+            r.add(id, n);
+        }
+    }
+
+    /// Sets a gauge (one branch when disabled).
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, v: f64) {
+        if let Some(r) = &mut self.reg {
+            r.set(id, v);
+        }
+    }
+
+    /// Records a histogram sample (one branch when disabled).
+    #[inline]
+    pub fn record(&mut self, id: HistId, v: u64) {
+        if let Some(r) = &mut self.reg {
+            r.record(id, v);
+        }
+    }
+
+    /// The registry, if enabled.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.reg.as_deref()
+    }
+
+    /// Mutable registry access, if enabled.
+    pub fn registry_mut(&mut self) -> Option<&mut Registry> {
+        self.reg.as_deref_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_update_read() {
+        let mut r = Registry::new();
+        let c = r.counter("a.count");
+        let g = r.gauge("a.depth");
+        let h = r.hist("a.delay_ns");
+        r.inc(c);
+        r.add(c, 4);
+        r.set(g, 2.5);
+        r.record(h, 100);
+        r.record(h, 300);
+        assert_eq!(r.counter_value(c), 5);
+        assert_eq!(r.gauge_value(g), 2.5);
+        assert_eq!(r.histogram(h).count(), 2);
+        assert_eq!(r.counter_by_name("a.count"), Some(5));
+        assert_eq!(r.counter_by_name("missing"), None);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert_eq!(a, b);
+        r.inc(a);
+        r.inc(b);
+        assert_eq!(r.counter_value(a), 2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_shape() {
+        let mut r = Registry::new();
+        let c = r.counter("pkts");
+        r.add(c, 7);
+        let g = r.gauge("util");
+        r.set(g, 0.25);
+        let h = r.hist("lat");
+        r.record(h, 50);
+        let snap = r.snapshot();
+        let text = serde_json::to_string_pretty(&snap).unwrap();
+        let back = serde_json::from_str(&text).unwrap();
+        let Value::Object(root) = back else { panic!() };
+        let Some(Value::Object(counters)) = root.get("counters") else { panic!() };
+        assert_eq!(counters.get("pkts"), Some(&Value::Number(7.0)));
+        let Some(Value::Object(hists)) = root.get("histograms") else { panic!() };
+        let Some(Value::Object(lat)) = hists.get("lat") else { panic!() };
+        for key in ["count", "min", "max", "mean", "p50", "p95", "p99"] {
+            assert!(lat.get(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn disabled_obs_is_inert() {
+        let mut o = Obs::off();
+        assert!(!o.enabled());
+        let c = o.counter("never");
+        let g = o.gauge("never");
+        let h = o.hist("never");
+        o.inc(c);
+        o.add(c, 10);
+        o.set(g, 1.0);
+        o.record(h, 42);
+        assert!(o.registry().is_none());
+    }
+
+    #[test]
+    fn enabled_obs_delegates() {
+        let mut o = Obs::on();
+        let c = o.counter("n");
+        o.inc(c);
+        assert_eq!(o.registry().unwrap().counter_value(c), 1);
+    }
+}

@@ -49,6 +49,17 @@ impl Channel {
     pub fn is_up(&self) -> bool {
         self.up
     }
+
+    /// Packets currently waiting in the egress queue (excludes the one in
+    /// flight on the wire) — the instantaneous queue depth for sampling.
+    pub fn queue_pkts(&self) -> usize {
+        self.queue.len_pkts()
+    }
+
+    /// Bytes currently waiting in the egress queue.
+    pub fn queue_bytes(&self) -> u64 {
+        self.queue.len_bytes()
+    }
 }
 
 /// What the wire did to a packet that finished serializing.
@@ -159,7 +170,8 @@ impl Core {
 
 impl Core {
     /// Offers a packet to a channel's queue and kicks the transmitter.
-    fn offer(&mut self, ch: ChannelId, pkt: Pkt) -> bool {
+    fn offer(&mut self, ch: ChannelId, mut pkt: Pkt) -> bool {
+        pkt.enqueued_at = self.now;
         // Copy the identifying fields out first: the packet moves into the
         // queue before the trace event is emitted.
         let (id, src, dst) = (pkt.id, pkt.src, pkt.dst);
@@ -198,6 +210,9 @@ impl Core {
                 let (id, src, dst) = (pkt.id, pkt.src, pkt.dst);
                 let wire_len = pkt.wire_len();
                 let tx = SimDuration::transmission(wire_len, c.bandwidth_bps);
+                let waited = now.since(pkt.enqueued_at).as_nanos();
+                c.stats.queued_delay_ns += waited;
+                c.stats.queued_delay_max_ns = c.stats.queued_delay_max_ns.max(waited);
                 c.stats.tx_pkts += 1;
                 c.stats.tx_bytes += wire_len as u64;
                 c.busy = true;
@@ -612,6 +627,12 @@ impl Simulator {
     /// Channel metadata and statistics.
     pub fn channel(&self, id: ChannelId) -> &Channel {
         &self.core.channels[id.0]
+    }
+
+    /// Total number of channels, for iterating `ChannelId(0..n)` when
+    /// sampling every link.
+    pub fn channel_count(&self) -> usize {
+        self.core.channels.len()
     }
 
     /// Count of packets dropped for lack of a route (should be zero in a

@@ -22,6 +22,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 
+use crate::time::SimTime;
 use tva_wire::Packet;
 
 /// Free boxes retained per thread. Bounds pool memory at roughly
@@ -65,7 +66,15 @@ pub fn pool_stats() -> PoolStats {
 /// A pooled, heap-backed packet: the unit of ownership on the simulator's
 /// data path. Derefs to [`Packet`], so field access and `&Packet` APIs work
 /// unchanged; cloning allocates from the pool; dropping recycles the box.
-pub struct Pkt(Option<Box<Packet>>);
+///
+/// The handle also carries the instant the engine last enqueued it, so
+/// dequeue can account queueing delay without a side table — correct even
+/// under non-FIFO disciplines that reorder packets.
+pub struct Pkt {
+    slot: Option<Box<Packet>>,
+    /// When the engine accepted this packet into its current egress queue.
+    pub(crate) enqueued_at: SimTime,
+}
 
 impl Pkt {
     /// Wraps a packet, reusing a pooled box when one is free.
@@ -83,23 +92,24 @@ impl Pkt {
                 }
             }
         });
-        match recycled {
+        let slot = match recycled {
             Some(mut b) => {
                 *b = pkt;
-                Pkt(Some(b))
+                Some(b)
             }
-            None => Pkt(Some(Box::new(pkt))),
-        }
+            None => Some(Box::new(pkt)),
+        };
+        Pkt { slot, enqueued_at: SimTime::ZERO }
     }
 
     #[inline]
     fn packet(&self) -> &Packet {
-        self.0.as_deref().expect("Pkt emptied only in Drop")
+        self.slot.as_deref().expect("Pkt emptied only in Drop")
     }
 
     #[inline]
     fn packet_mut(&mut self) -> &mut Packet {
-        self.0.as_deref_mut().expect("Pkt emptied only in Drop")
+        self.slot.as_deref_mut().expect("Pkt emptied only in Drop")
     }
 }
 
@@ -127,13 +137,15 @@ impl DerefMut for Pkt {
 
 impl Clone for Pkt {
     fn clone(&self) -> Self {
-        Pkt::new(self.packet().clone())
+        let mut p = Pkt::new(self.packet().clone());
+        p.enqueued_at = self.enqueued_at;
+        p
     }
 }
 
 impl Drop for Pkt {
     fn drop(&mut self) {
-        if let Some(b) = self.0.take() {
+        if let Some(b) = self.slot.take() {
             // `try_with`: during thread teardown the pool may already be
             // gone; the box then just drops normally.
             let _ = POOL.try_with(|p| {

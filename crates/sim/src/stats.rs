@@ -28,6 +28,11 @@ pub struct ChannelStats {
     /// Corrupted packets that no longer parsed and arrived as malformed
     /// deliveries instead of packets.
     pub malformed_pkts: u64,
+    /// Total enqueue→tx-start time across transmitted packets, in
+    /// nanoseconds — per-link queueing latency without full tracing.
+    pub queued_delay_ns: u64,
+    /// Largest single enqueue→tx-start time seen, in nanoseconds.
+    pub queued_delay_max_ns: u64,
 }
 
 impl ChannelStats {
@@ -50,6 +55,15 @@ impl ChannelStats {
             (self.tx_bytes as f64 * 8.0) / (bps as f64 * secs)
         }
     }
+
+    /// Mean enqueue→tx-start delay in seconds (0 when nothing transmitted).
+    pub fn mean_queued_delay_s(&self) -> f64 {
+        if self.tx_pkts == 0 {
+            0.0
+        } else {
+            self.queued_delay_ns as f64 / self.tx_pkts as f64 / 1e9
+        }
+    }
 }
 
 #[cfg(test)]
@@ -68,5 +82,30 @@ mod tests {
         let s = ChannelStats { tx_bytes: 1_250_000, ..Default::default() };
         // 1.25 MB in 1 s over a 10 Mb/s link = 100%.
         assert!((s.utilization(10_000_000, SimTime::from_secs(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_at_time_zero_is_zero() {
+        let s = ChannelStats { tx_bytes: 1_250_000, ..Default::default() };
+        assert_eq!(s.utilization(10_000_000, SimTime::ZERO), 0.0);
+        assert_eq!(ChannelStats::default().utilization(10_000_000, SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn drop_rate_with_only_drops() {
+        let s = ChannelStats { dropped_pkts: 10, ..Default::default() };
+        assert_eq!(s.drop_rate(), 1.0);
+    }
+
+    #[test]
+    fn mean_queued_delay() {
+        let s = ChannelStats {
+            tx_pkts: 4,
+            queued_delay_ns: 2_000_000_000,
+            queued_delay_max_ns: 1_500_000_000,
+            ..Default::default()
+        };
+        assert!((s.mean_queued_delay_s() - 0.5).abs() < 1e-12);
+        assert_eq!(ChannelStats::default().mean_queued_delay_s(), 0.0);
     }
 }

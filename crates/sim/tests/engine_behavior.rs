@@ -93,6 +93,37 @@ fn serialization_and_propagation_timing_are_exact() {
 }
 
 #[test]
+fn queueing_delay_accounting_is_exact() {
+    // Three packets enqueued at t=0 on a 1 Mb/s link: the first transmits
+    // immediately (zero wait), the second waits one serialization time,
+    // the third two — so sum = 3·tx and max = 2·tx, with tx = 8.16 ms.
+    let mut t = TopologyBuilder::new();
+    let src = t.add_node(Box::new(Blaster { count: 3, payload: 1000, sent: 0 }));
+    let dst = t.add_node(Box::<SinkNode>::default());
+    t.bind_addr(src, SRC);
+    t.bind_addr(dst, DST);
+    let link = t.link(
+        src,
+        dst,
+        1_000_000,
+        SimDuration::from_millis(10),
+        Box::new(DropTail::new(1 << 20)),
+        Box::new(DropTail::new(1 << 20)),
+    );
+    let mut sim = t.build(1);
+    sim.kick(src, 0);
+    sim.run_until(SimTime::from_secs(10));
+    let stats = &sim.channel(link.ab).stats;
+    let tx_ns = 1020u64 * 8 * 1000;
+    assert_eq!(stats.tx_pkts, 3);
+    assert_eq!(stats.queued_delay_ns, 3 * tx_ns);
+    assert_eq!(stats.queued_delay_max_ns, 2 * tx_ns);
+    assert!((stats.mean_queued_delay_s() - tx_ns as f64 / 1e9).abs() < 1e-12);
+    // The idle reverse channel transmitted nothing and waited for nothing.
+    assert_eq!(sim.channel(link.ba).stats.queued_delay_ns, 0);
+}
+
+#[test]
 fn bottleneck_throughput_matches_bandwidth() {
     // Saturate a 10 Mb/s link for ~1 s; delivered bytes ≈ 1.25 MB.
     let mut t = TopologyBuilder::new();

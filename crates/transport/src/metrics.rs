@@ -119,4 +119,54 @@ mod tests {
         assert_eq!(s.completion_fraction, 0.0);
         assert_eq!(s.avg_completion_secs, 0.0);
     }
+
+    #[test]
+    fn empty_percentiles_are_zero() {
+        let s = summarize(&[]);
+        assert_eq!(s.p50_secs, 0.0);
+        assert_eq!(s.p95_secs, 0.0);
+        assert_eq!(s.worst_secs, 0.0);
+    }
+
+    #[test]
+    fn all_failed_percentiles_are_zero() {
+        // Attempts exist but nothing completed: the percentile index math
+        // must not underflow or read a completion that is not there.
+        let s = summarize(&[rec(0, None), rec(1, None)]);
+        assert_eq!(s.attempts, 2);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.p50_secs, 0.0);
+        assert_eq!(s.p95_secs, 0.0);
+        assert_eq!(s.worst_secs, 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = summarize(&[rec(0, Some(250)), rec(1, None)]);
+        assert_eq!(s.completed, 1);
+        assert!((s.p50_secs - 0.25).abs() < 1e-12);
+        assert!((s.p95_secs - 0.25).abs() < 1e-12);
+        assert!((s.worst_secs - 0.25).abs() < 1e-12);
+        assert!((s.avg_completion_secs - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_durations() {
+        // All completions identical: every percentile is that value and
+        // the sort/index path must cope with ties.
+        let recs: Vec<TransferRecord> = (0..10).map(|i| rec(i, Some(400))).collect();
+        let s = summarize(&recs);
+        assert!((s.p50_secs - 0.4).abs() < 1e-12);
+        assert!((s.p95_secs - 0.4).abs() < 1e-12);
+        assert!((s.worst_secs - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_samples_pick_correct_ends() {
+        let s = summarize(&[rec(0, Some(100)), rec(1, Some(900))]);
+        // With n=2: p50 index rounds to 1 (0.9), p95 index rounds to 1.
+        assert!((s.p50_secs - 0.9).abs() < 1e-12);
+        assert!((s.p95_secs - 0.9).abs() < 1e-12);
+        assert!((s.worst_secs - 0.9).abs() < 1e-12);
+    }
 }

@@ -10,6 +10,12 @@
 # TVA_BENCH_ENGINE_REPS to raise the best-of repetition count on noisy
 # machines.
 #
+# The engine runs twice per repetition set: obs-off (the gated
+# `engine_events_per_sec` — the disabled observability hook must stay one
+# dead branch per event, inside the 10% gate) and obs-on with the
+# flight-recorder tracer live, recorded as `engine_events_per_sec_obs` /
+# `obs_overhead_pct` for information.
+#
 # Alongside the tracked baseline, the full internet-scale tree (~100k
 # hosts / 10k attackers) runs once and writes results/scale.{tsv,json};
 # skipped under --engine-only. Usage:

@@ -21,5 +21,20 @@ cargo test -q --release -p tva-bench --features alloc-count --test alloc_steady
 
 echo "==> internet-scale tree, quick variant (~10k hosts)"
 cargo run --release -q -p tva-bench --bin scale -- --quick --out-dir target/verify-scale
+test -s target/verify-scale/scale_metrics.json
+
+echo "==> observability smoke (fig8 quick: obs-off vs obs-on, TSVs byte-identical)"
+rm -rf target/verify-obs
+TVA_RESULTS_DIR=target/verify-obs/off \
+  cargo run --release -q -p tva-experiments --bin fig8 >/dev/null
+TVA_RESULTS_DIR=target/verify-obs/on \
+  TVA_OBS=1 TVA_OBS_PERFETTO=1 TVA_OBS_DIR=target/verify-obs/obs \
+  cargo run --release -q -p tva-experiments --bin fig8 >/dev/null
+cmp target/verify-obs/off/fig8.tsv target/verify-obs/on/fig8.tsv
+cmp target/verify-obs/off/fig8.json target/verify-obs/on/fig8.json
+test -s target/verify-obs/obs/fig8_TVA_series.json
+test -s target/verify-obs/obs/fig8_TVA_trace.perfetto.json
+cargo run --release -q -p tva-obs --bin obscheck -- \
+  target/verify-obs/obs/*.json target/verify-obs/obs/*.jsonl
 
 echo "verify: OK"

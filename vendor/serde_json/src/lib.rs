@@ -1,10 +1,11 @@
 //! Offline vendored subset of `serde_json`.
 //!
-//! The experiments crate only builds [`Value`] trees by hand and
-//! pretty-prints them, so this stub provides exactly that: a `Value`
-//! enum, an insertion-ordered [`Map`], and [`to_string_pretty`]. The
-//! output formatting (2-space indent, `": "` separators) matches the
-//! real crate so previously-committed `.json` artifacts stay
+//! The experiments crate builds [`Value`] trees by hand, pretty-prints
+//! them, and (for the observability layer) parses emitted artifacts back
+//! to validate them, so this stub provides exactly that: a `Value` enum,
+//! a sorted [`Map`], [`to_string_pretty`], and a [`from_str`] parser over
+//! `Value`. The output formatting (2-space indent, `": "` separators)
+//! matches the real crate so previously-committed `.json` artifacts stay
 //! byte-identical.
 
 // Vendored dependency stand-in: keep diffable against upstream, not lint-clean.
@@ -113,6 +114,15 @@ pub fn to_string_pretty<T: AsValue>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes a [`Value`] on one line with no whitespace, matching
+/// `serde_json::to_string` (needed for JSONL output, where one record
+/// must occupy exactly one line).
+pub fn to_string<T: AsValue>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_compact(&mut out, &value.as_value());
+    Ok(out)
+}
+
 /// Conversion into a borrowed-or-built [`Value`] so `to_string_pretty`
 /// accepts both `&Value` and `&Vec<Value>` like the generic original.
 pub trait AsValue {
@@ -187,6 +197,214 @@ fn write_value(out: &mut String, v: &Value, indent: usize) {
     }
 }
 
+fn write_value_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Number(n) => {
+            if n.fract() == 0.0 && n.is_finite() && n.abs() < 1e15 {
+                let _ = write!(out, "{}", *n as i64);
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_value_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`], mirroring
+/// `serde_json::from_str::<Value>`. Numbers parse as `f64` (the only
+/// numeric representation this stub has); objects keep sorted keys.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error);
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), Error> {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error)
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error),
+        Some(b'n') => expect(b, pos, b"null").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, b"true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, b"false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = Map::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error);
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error);
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        // \uXXXX; surrogate pairs are joined when present.
+                        let hex4 = |b: &[u8], at: usize| -> Result<u32, Error> {
+                            if b.len() < at + 4 {
+                                return Err(Error);
+                            }
+                            let s = std::str::from_utf8(&b[at..at + 4]).map_err(|_| Error)?;
+                            u32::from_str_radix(s, 16).map_err(|_| Error)
+                        };
+                        let mut cp = hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        if (0xD800..0xDC00).contains(&cp)
+                            && b.get(*pos + 1) == Some(&b'\\')
+                            && b.get(*pos + 2) == Some(&b'u')
+                        {
+                            let lo = hex4(b, *pos + 3)?;
+                            if (0xDC00..0xE000).contains(&lo) {
+                                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                *pos += 6;
+                            }
+                        }
+                        out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(Error),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Bulk-copy the run of ordinary bytes up to the next quote
+                // or escape (input is a &str, so boundaries are valid by
+                // construction); validating per segment instead of per
+                // character keeps large documents linear.
+                let start = *pos;
+                while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error)?;
+                out.push_str(chunk);
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error)?;
+    text.parse::<f64>().map(Value::Number).map_err(|_| Error)
+}
+
 fn push_indent(out: &mut String, levels: usize) {
     for _ in 0..levels {
         out.push_str("  ");
@@ -239,6 +457,53 @@ mod tests {
         .collect();
         let keys: Vec<&String> = map.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, ["a", "m", "z"]);
+    }
+
+    #[test]
+    fn parse_round_trips_pretty_output() {
+        let mut map = Map::new();
+        map.insert("count".to_string(), Value::Number(3.0));
+        map.insert("name".to_string(), Value::String("a\"b\nc".to_string()));
+        map.insert(
+            "rows".to_string(),
+            Value::Array(vec![Value::Number(1.5), Value::Bool(false), Value::Null]),
+        );
+        let original = Value::Object(map);
+        let text = to_string_pretty(&original).unwrap();
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let mut map = Map::new();
+        map.insert("b".to_string(), Value::Array(vec![Value::Number(1.0), Value::Null]));
+        map.insert("a".to_string(), Value::String("x y".to_string()));
+        let original = Value::Object(map);
+        let text = to_string(&original).unwrap();
+        assert!(!text.contains('\n'));
+        assert_eq!(text, "{\"a\":\"x y\",\"b\":[1,null]}");
+        assert_eq!(from_str(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("{\"a\" 1}").is_err());
+        assert!(from_str("123 45").is_err());
+        assert!(from_str("nul").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_escapes() {
+        let v = from_str(" { \"k\" : [ 1 , -2.5e1 , \"\\u0041\\n\" ] } ").unwrap();
+        let Value::Object(map) = v else { panic!() };
+        let Some(Value::Array(items)) = map.get("k") else { panic!() };
+        assert_eq!(items[0], Value::Number(1.0));
+        assert_eq!(items[1], Value::Number(-25.0));
+        assert_eq!(items[2], Value::String("A\n".to_string()));
     }
 
     #[test]
