@@ -70,6 +70,10 @@ impl QueueDisc for FqScheduler {
     fn len_bytes(&self) -> u64 {
         self.drr.len_bytes()
     }
+
+    fn audit(&self) -> Result<(), String> {
+        self.drr.audit().map_err(|e| format!("fq: {e}"))
+    }
 }
 
 #[cfg(test)]

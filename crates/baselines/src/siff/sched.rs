@@ -90,6 +90,22 @@ impl QueueDisc for SiffScheduler {
     fn len_bytes(&self) -> u64 {
         self.high_bytes + self.low_bytes
     }
+
+    fn audit(&self) -> Result<(), String> {
+        for (name, q, bytes, cap) in [
+            ("high", &self.high, self.high_bytes, self.high_cap),
+            ("low", &self.low, self.low_bytes, self.low_cap),
+        ] {
+            let held: u64 = q.iter().map(|p| p.wire_len() as u64).sum();
+            if held != bytes {
+                return Err(format!("siff-sched {name}: byte ledger {bytes} != held {held}"));
+            }
+            if q.len() > cap {
+                return Err(format!("siff-sched {name}: {} pkts over cap {cap}", q.len()));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

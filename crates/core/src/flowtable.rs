@@ -179,6 +179,59 @@ impl FlowTable {
     pub fn capacity(&self) -> usize {
         self.max_entries
     }
+
+    /// Iterates the live entries (cold path, for auditors tracking per-
+    /// capability byte budgets across entry churn).
+    pub fn iter_entries(&self) -> impl Iterator<Item = (&FlowKey, &FlowEntry)> {
+        self.entries.iter()
+    }
+
+    /// Verifies the table's internal consistency (cold path; used by the
+    /// `TVA_CHECK` runtime auditors and the bijection proptest):
+    ///
+    /// * `entries` and `by_expiry` are in exact bijection — every entry has
+    ///   exactly its `(ttl_expires, key)` pair in the reclaim index and the
+    ///   index holds nothing else (the two-step remove/insert in `charge`/
+    ///   `create` must never desynchronize them, or reclaim picks phantom
+    ///   victims / live entries become unreclaimable);
+    /// * the record bound holds;
+    /// * no entry's `bytes_used` exceeds its grant's `N` (§3.6: over-budget
+    ///   packets are demoted before being charged).
+    pub fn audit(&self) -> Result<(), String> {
+        if self.entries.len() > self.max_entries {
+            return Err(format!(
+                "flowtable: {} entries exceed bound {}",
+                self.entries.len(),
+                self.max_entries
+            ));
+        }
+        if self.by_expiry.len() != self.entries.len() {
+            return Err(format!(
+                "flowtable: reclaim index has {} records, table has {}",
+                self.by_expiry.len(),
+                self.entries.len()
+            ));
+        }
+        for (key, entry) in &self.entries {
+            if !self.by_expiry.contains(&(entry.ttl_expires, *key)) {
+                return Err(format!(
+                    "flowtable: entry {key:?} (expiry {:?}) missing from reclaim index",
+                    entry.ttl_expires
+                ));
+            }
+            if entry.bytes_used > entry.grant.n.bytes() {
+                return Err(format!(
+                    "flowtable: entry {key:?} charged {} bytes over N={}",
+                    entry.bytes_used,
+                    entry.grant.n.bytes()
+                ));
+            }
+        }
+        // Same lengths + every entry present ⇒ bijection (the set cannot
+        // hold a duplicate key at a different expiry without the lengths
+        // diverging, because each entry matches exactly one index record).
+        Ok(())
+    }
 }
 
 /// The time-equivalent value of `len` bytes under `grant`: `len × T / N`

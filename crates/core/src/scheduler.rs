@@ -151,6 +151,21 @@ impl TvaScheduler {
         self.legacy.push_back(pkt);
         Enqueued::Accepted
     }
+
+    /// Regular-class packets this scheduler has been offered and accepted:
+    /// sent, still queued, or dropped by the class's own caps. Every one of
+    /// them passed the router's validation first (classification only
+    /// trusts headers the router already checked), so a TVA router's
+    /// validation count must cover the sum over its egress schedulers —
+    /// the protocol-soundness auditor's cross-check.
+    pub fn regular_offered(&self) -> u64 {
+        self.stats.regular_sent + self.stats.regular_dropped + self.regular.len_pkts() as u64
+    }
+
+    /// Request-class packets offered (sent + queued + dropped).
+    pub fn requests_offered(&self) -> u64 {
+        self.stats.requests_sent + self.stats.requests_dropped + self.requests.len_pkts() as u64
+    }
 }
 
 /// Which class a packet falls into, judged purely from its header.
@@ -249,6 +264,30 @@ impl QueueDisc for TvaScheduler {
 
     fn len_bytes(&self) -> u64 {
         self.requests.len_bytes() + self.regular.len_bytes() + self.legacy_bytes
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        self.requests.audit().map_err(|e| format!("tva-sched requests: {e}"))?;
+        self.regular.audit().map_err(|e| format!("tva-sched regular: {e}"))?;
+        let held: u64 = self.legacy.iter().map(|p| p.wire_len() as u64).sum();
+        if held != self.legacy_bytes {
+            return Err(format!(
+                "tva-sched legacy: byte ledger {} != held bytes {held}",
+                self.legacy_bytes
+            ));
+        }
+        if self.legacy.len() > self.legacy_cap_pkts {
+            return Err(format!(
+                "tva-sched legacy: {} pkts over cap {}",
+                self.legacy.len(),
+                self.legacy_cap_pkts
+            ));
+        }
+        Ok(())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -1,0 +1,706 @@
+//! `TVA_CHECK` wiring: drives scenario and robustness runs through the
+//! [`tva_check`] auditors, dumps replay artifacts on violation, and
+//! provides the seeded configuration generator behind the `invcheck`
+//! scenario fuzzer.
+//!
+//! This module only exists when the `check` cargo feature is on (the
+//! default); building the harness with `--no-default-features` compiles
+//! every call site here down to the plain `run_until` path. With the
+//! feature on, the auditors still cost nothing until `TVA_CHECK=1` is set
+//! at runtime: [`CheckConfig::from_env`] is consulted once per run, off
+//! the packet path.
+//!
+//! A violation artifact is a JSON document carrying the harness kind, the
+//! full run configuration (seed included), the violated invariants, and
+//! the violation details; the flight-recorder ring is dumped next to it
+//! (`<stem>.flight.json`) for packet-level context. `invcheck replay`
+//! re-executes an artifact deterministically and compares the set of
+//! violated invariants.
+
+use std::cell::RefCell;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rand::{rngs::SmallRng, RngCore, SeedableRng};
+use serde_json::{Map, Value};
+use tva_check::{CheckConfig, CheckReport, Checker};
+use tva_sim::{DutyCycleOutage, Impairments, LinkHandle, SimDuration, SimTime, Simulator};
+use tva_wire::Grant;
+
+use crate::robustness::{LinkFailure, RobustnessConfig, RobustnessResult};
+use crate::scenario::{Attack, ScenarioConfig, ScenarioResult, Scheme};
+
+/// Drives the built simulator to `end` in `interval_ms`-sized steps with
+/// the full auditor set installed, returning the composed report. The
+/// tracer is removed again afterwards so post-run inspection sees the
+/// simulator exactly as an unchecked run would.
+pub fn drive_checked(sim: &mut Simulator, end: SimTime, check: &CheckConfig) -> CheckReport {
+    let mut checker = Checker::install(check);
+    sim.set_tracer(Some(checker.tracer()));
+    let step = SimDuration::from_millis(check.interval_ms);
+    loop {
+        let next = sim.now().saturating_add(step).min(end);
+        sim.run_until(next);
+        checker.step(sim);
+        if next >= end {
+            break;
+        }
+    }
+    let report = checker.finish(sim);
+    sim.set_tracer(None);
+    report
+}
+
+/// Extra fault-injection knobs the fuzzer layers onto a scenario run:
+/// wire impairments and an optional failure window on the bottleneck
+/// link. Fractions are parts-per-million so artifacts round-trip exactly
+/// through JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuzzExtras {
+    /// Per-packet loss probability on the bottleneck, in ppm.
+    pub loss_ppm: u32,
+    /// Per-packet corruption probability on the bottleneck, in ppm.
+    pub corrupt_ppm: u32,
+    /// Bottleneck failure instant (nanoseconds), if any.
+    pub link_down_ns: Option<u64>,
+    /// Bottleneck recovery instant (nanoseconds), if it recovers.
+    pub link_up_ns: Option<u64>,
+}
+
+impl FuzzExtras {
+    /// Applies the impairments and failure schedule to the bottleneck.
+    pub fn apply(&self, sim: &mut Simulator, bottleneck: LinkHandle) {
+        if self.loss_ppm > 0 || self.corrupt_ppm > 0 {
+            sim.impair_link(
+                bottleneck,
+                Impairments {
+                    loss: self.loss_ppm as f64 / 1e6,
+                    corrupt: self.corrupt_ppm as f64 / 1e6,
+                    outage: None,
+                },
+            );
+        }
+        if let Some(down) = self.link_down_ns {
+            sim.schedule_link_down(bottleneck, SimTime::from_nanos(down));
+            if let Some(up) = self.link_up_ns {
+                sim.schedule_link_up(bottleneck, SimTime::from_nanos(up));
+            }
+        }
+    }
+
+    fn to_json(self) -> Value {
+        let mut m = Map::new();
+        m.insert("loss_ppm".into(), num(self.loss_ppm as u64));
+        m.insert("corrupt_ppm".into(), num(self.corrupt_ppm as u64));
+        if let Some(down) = self.link_down_ns {
+            m.insert("link_down_ns".into(), num(down));
+            if let Some(up) = self.link_up_ns {
+                m.insert("link_up_ns".into(), num(up));
+            }
+        }
+        Value::Object(m)
+    }
+
+    fn from_json(v: &Value) -> Result<Self, String> {
+        let obj = as_object(v, "extras")?;
+        Ok(FuzzExtras {
+            loss_ppm: get_u64(obj, "loss_ppm")? as u32,
+            corrupt_ppm: get_u64(obj, "corrupt_ppm")? as u32,
+            link_down_ns: opt_u64(obj, "link_down_ns"),
+            link_up_ns: opt_u64(obj, "link_up_ns"),
+        })
+    }
+}
+
+/// Runs one scenario under the auditors without enforcing cleanliness:
+/// the fuzzer's and replayer's entry point. `extras` are applied to the
+/// bottleneck before the clock starts.
+pub fn run_checked(
+    cfg: &ScenarioConfig,
+    extras: &FuzzExtras,
+    check: &CheckConfig,
+) -> (ScenarioResult, CheckReport) {
+    let report = RefCell::new(None);
+    let result = crate::scenario::run_driven(
+        cfg,
+        |sim, built| {
+            extras.apply(sim, built.bottleneck);
+            *report.borrow_mut() = Some(drive_checked(sim, cfg.duration, check));
+        },
+        |_, _| {},
+    );
+    let report = report.into_inner().expect("scenario driver did not run");
+    (result, report)
+}
+
+/// Enforces a clean report for an env-gated (`TVA_CHECK=1`) run: on any
+/// violation, writes the replay artifact plus the flight-recorder dump
+/// and panics with their paths. Clean runs return silently.
+pub fn enforce_clean(
+    check: &CheckConfig,
+    harness: &str,
+    seed: u64,
+    config: Value,
+    extras: Option<FuzzExtras>,
+    report: &CheckReport,
+) {
+    if report.is_clean() {
+        return;
+    }
+    let labels = report.violated_invariants().join(", ");
+    let doc = artifact_json(harness, config, extras, report);
+    let name = format!("{harness}-seed{seed}");
+    let where_ = match write_artifact(&check.dir, &name, &doc) {
+        Ok((artifact, flight)) => {
+            format!("artifact: {} flight: {}", artifact.display(), flight.display())
+        }
+        Err(e) => format!("(artifact dump failed: {e})"),
+    };
+    panic!(
+        "TVA_CHECK: {} invariant violation(s) [{labels}] in {harness} run seed {seed} — {where_}",
+        report.violations.len()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Robustness wiring.
+//
+// `robustness::run` is monolithic (it builds, drives, and collects in one
+// function), so the checked drive hooks in via this module: a thread-local
+// capture slot lets `run_robustness_checked` reuse `robustness::run`
+// verbatim while still getting the report back instead of a panic.
+
+struct CaptureSlot {
+    check: CheckConfig,
+    report: Option<CheckReport>,
+}
+
+thread_local! {
+    static ROBUST_CAPTURE: RefCell<Option<CaptureSlot>> = const { RefCell::new(None) };
+}
+
+/// Runs one robustness scenario under the auditors, returning the report
+/// rather than enforcing cleanliness (the replayer's entry point).
+pub fn run_robustness_checked(
+    cfg: &RobustnessConfig,
+    check: &CheckConfig,
+) -> (RobustnessResult, CheckReport) {
+    ROBUST_CAPTURE.with(|c| {
+        *c.borrow_mut() = Some(CaptureSlot { check: check.clone(), report: None })
+    });
+    let result = crate::robustness::run(cfg);
+    let report = ROBUST_CAPTURE
+        .with(|c| c.borrow_mut().take())
+        .and_then(|slot| slot.report)
+        .expect("robustness drive hook did not run");
+    (result, report)
+}
+
+/// The robustness run's drive step (called from `robustness::run` in
+/// place of its bare `run_until`): checked when captured by
+/// [`run_robustness_checked`] or when `TVA_CHECK=1`, plain otherwise.
+pub(crate) fn robustness_drive(sim: &mut Simulator, cfg: &RobustnessConfig) {
+    let captured = ROBUST_CAPTURE.with(|c| c.borrow().as_ref().map(|slot| slot.check.clone()));
+    if let Some(check) = captured {
+        let report = drive_checked(sim, cfg.duration, &check);
+        ROBUST_CAPTURE.with(|c| {
+            if let Some(slot) = c.borrow_mut().as_mut() {
+                slot.report = Some(report);
+            }
+        });
+        return;
+    }
+    let check = CheckConfig::from_env();
+    if check.enabled {
+        let report = drive_checked(sim, cfg.duration, &check);
+        enforce_clean(&check, "robustness", cfg.seed, robustness_to_json(cfg), None, &report);
+        return;
+    }
+    sim.run_until(cfg.duration);
+}
+
+// ---------------------------------------------------------------------------
+// Configuration (de)serialization. Hand-rolled against the vendored
+// serde_json `Value`: fractions travel as ppm integers and the seed as a
+// string (u64 seeds can exceed f64's 2^53 integer range); everything else
+// fits a JSON number exactly.
+
+fn num(v: u64) -> Value {
+    debug_assert!(v < (1 << 53), "JSON number out of exact f64 range: {v}");
+    Value::Number(v as f64)
+}
+
+fn as_object<'a>(v: &'a Value, what: &str) -> Result<&'a Map<String, Value>, String> {
+    match v {
+        Value::Object(m) => Ok(m),
+        _ => Err(format!("{what}: expected a JSON object")),
+    }
+}
+
+fn get<'a>(obj: &'a Map<String, Value>, key: &str) -> Result<&'a Value, String> {
+    obj.get(key).ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn get_u64(obj: &Map<String, Value>, key: &str) -> Result<u64, String> {
+    match get(obj, key)? {
+        Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+        _ => Err(format!("key {key:?}: expected a non-negative integer")),
+    }
+}
+
+fn opt_u64(obj: &Map<String, Value>, key: &str) -> Option<u64> {
+    match obj.get(key) {
+        Some(Value::Number(n)) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn get_bool(obj: &Map<String, Value>, key: &str) -> Result<bool, String> {
+    match get(obj, key)? {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(format!("key {key:?}: expected a boolean")),
+    }
+}
+
+fn get_str<'a>(obj: &'a Map<String, Value>, key: &str) -> Result<&'a str, String> {
+    match get(obj, key)? {
+        Value::String(s) => Ok(s),
+        _ => Err(format!("key {key:?}: expected a string")),
+    }
+}
+
+fn get_seed(obj: &Map<String, Value>) -> Result<u64, String> {
+    get_str(obj, "seed")?
+        .parse()
+        .map_err(|e| format!("key \"seed\": not a u64 ({e})"))
+}
+
+fn scheme_to_str(s: Scheme) -> &'static str {
+    s.name()
+}
+
+fn scheme_from_str(s: &str) -> Result<Scheme, String> {
+    Scheme::ALL
+        .into_iter()
+        .find(|scheme| scheme.name() == s)
+        .ok_or_else(|| format!("unknown scheme {s:?}"))
+}
+
+fn grant_to_json(m: &mut Map<String, Value>, g: Grant) {
+    m.insert("grant_kb".into(), num(g.n.kb() as u64));
+    m.insert("grant_secs".into(), num(g.t.secs() as u64));
+}
+
+fn grant_from_json(obj: &Map<String, Value>) -> Result<Grant, String> {
+    Ok(Grant::from_parts(get_u64(obj, "grant_kb")? as u16, get_u64(obj, "grant_secs")? as u8))
+}
+
+/// Serializes a scenario configuration for a replay artifact.
+pub fn scenario_to_json(cfg: &ScenarioConfig) -> Value {
+    let mut m = Map::new();
+    m.insert("scheme".into(), Value::String(scheme_to_str(cfg.scheme).into()));
+    let attack = match cfg.attack {
+        Attack::None => "none",
+        Attack::LegacyFlood => "legacy-flood",
+        Attack::RequestFlood => "request-flood",
+        Attack::AuthorizedColluder => "authorized-colluder",
+        Attack::ImpreciseAllAtOnce => "imprecise-all-at-once",
+        Attack::ImpreciseStaged { groups, wave_secs } => {
+            m.insert("attack_groups".into(), num(groups as u64));
+            m.insert("attack_wave_secs".into(), num(wave_secs));
+            "imprecise-staged"
+        }
+        Attack::Combined => "combined",
+    };
+    m.insert("attack".into(), Value::String(attack.into()));
+    m.insert("n_attackers".into(), num(cfg.n_attackers as u64));
+    m.insert("n_users".into(), num(cfg.n_users as u64));
+    m.insert("transfers_per_user".into(), num(cfg.transfers_per_user as u64));
+    m.insert("file_size".into(), num(cfg.file_size as u64));
+    m.insert("bottleneck_bps".into(), num(cfg.bottleneck_bps));
+    m.insert("attacker_rate_bps".into(), num(cfg.attacker_rate_bps));
+    m.insert(
+        "request_fraction_ppm".into(),
+        num((cfg.request_fraction * 1e6).round() as u64),
+    );
+    grant_to_json(&mut m, cfg.grant);
+    m.insert("attack_start_ns".into(), num(cfg.attack_start.as_nanos()));
+    m.insert("duration_ns".into(), num(cfg.duration.as_nanos()));
+    m.insert("failure_grace_ns".into(), num(cfg.failure_grace.as_nanos()));
+    m.insert("measure_after_ns".into(), num(cfg.measure_after.as_nanos()));
+    m.insert("seed".into(), Value::String(cfg.seed.to_string()));
+    m.insert("siff_key_rotation_ns".into(), num(cfg.siff_key_rotation.as_nanos()));
+    m.insert("siff_accept_previous".into(), Value::Bool(cfg.siff_accept_previous));
+    m.insert("deny_attackers".into(), Value::Bool(cfg.deny_attackers));
+    if let Some(cap) = cfg.per_queue_cap_bytes {
+        m.insert("per_queue_cap_bytes".into(), num(cap));
+    }
+    Value::Object(m)
+}
+
+/// Parses a scenario configuration back out of a replay artifact.
+pub fn scenario_from_json(v: &Value) -> Result<ScenarioConfig, String> {
+    let obj = as_object(v, "scenario config")?;
+    let attack = match get_str(obj, "attack")? {
+        "none" => Attack::None,
+        "legacy-flood" => Attack::LegacyFlood,
+        "request-flood" => Attack::RequestFlood,
+        "authorized-colluder" => Attack::AuthorizedColluder,
+        "imprecise-all-at-once" => Attack::ImpreciseAllAtOnce,
+        "imprecise-staged" => Attack::ImpreciseStaged {
+            groups: get_u64(obj, "attack_groups")? as usize,
+            wave_secs: get_u64(obj, "attack_wave_secs")?,
+        },
+        "combined" => Attack::Combined,
+        other => return Err(format!("unknown attack {other:?}")),
+    };
+    Ok(ScenarioConfig {
+        scheme: scheme_from_str(get_str(obj, "scheme")?)?,
+        attack,
+        n_attackers: get_u64(obj, "n_attackers")? as usize,
+        n_users: get_u64(obj, "n_users")? as usize,
+        transfers_per_user: get_u64(obj, "transfers_per_user")? as usize,
+        file_size: get_u64(obj, "file_size")? as u32,
+        bottleneck_bps: get_u64(obj, "bottleneck_bps")?,
+        attacker_rate_bps: get_u64(obj, "attacker_rate_bps")?,
+        request_fraction: get_u64(obj, "request_fraction_ppm")? as f64 / 1e6,
+        grant: grant_from_json(obj)?,
+        attack_start: SimTime::from_nanos(get_u64(obj, "attack_start_ns")?),
+        duration: SimTime::from_nanos(get_u64(obj, "duration_ns")?),
+        failure_grace: SimDuration::from_nanos(get_u64(obj, "failure_grace_ns")?),
+        measure_after: SimTime::from_nanos(get_u64(obj, "measure_after_ns")?),
+        seed: get_seed(obj)?,
+        siff_key_rotation: SimDuration::from_nanos(get_u64(obj, "siff_key_rotation_ns")?),
+        siff_accept_previous: get_bool(obj, "siff_accept_previous")?,
+        deny_attackers: get_bool(obj, "deny_attackers")?,
+        per_queue_cap_bytes: opt_u64(obj, "per_queue_cap_bytes"),
+    })
+}
+
+/// Serializes a robustness configuration for a replay artifact.
+pub fn robustness_to_json(cfg: &RobustnessConfig) -> Value {
+    let mut m = Map::new();
+    m.insert("scheme".into(), Value::String(scheme_to_str(cfg.scheme).into()));
+    m.insert("loss_ppm".into(), num((cfg.loss * 1e6).round() as u64));
+    m.insert("corrupt_ppm".into(), num((cfg.corrupt * 1e6).round() as u64));
+    if let Some(o) = cfg.outage {
+        m.insert("outage_period_ns".into(), num(o.period.as_nanos()));
+        m.insert("outage_down_ns".into(), num(o.down.as_nanos()));
+        m.insert("outage_phase_ns".into(), num(o.phase.as_nanos()));
+    }
+    if let Some(f) = cfg.link_failure {
+        m.insert("link_down_ns".into(), num(f.down_at.as_nanos()));
+        if let Some(up) = f.up_at {
+            m.insert("link_up_ns".into(), num(up.as_nanos()));
+        }
+    }
+    m.insert("n_users".into(), num(cfg.n_users as u64));
+    m.insert("file_size".into(), num(cfg.file_size as u64));
+    m.insert("bottleneck_bps".into(), num(cfg.bottleneck_bps));
+    grant_to_json(&mut m, cfg.grant);
+    m.insert("duration_ns".into(), num(cfg.duration.as_nanos()));
+    m.insert("failure_grace_ns".into(), num(cfg.failure_grace.as_nanos()));
+    m.insert("seed".into(), Value::String(cfg.seed.to_string()));
+    Value::Object(m)
+}
+
+/// Parses a robustness configuration back out of a replay artifact.
+pub fn robustness_from_json(v: &Value) -> Result<RobustnessConfig, String> {
+    let obj = as_object(v, "robustness config")?;
+    let outage = opt_u64(obj, "outage_period_ns").map(|period| DutyCycleOutage {
+        period: SimDuration::from_nanos(period),
+        down: SimDuration::from_nanos(opt_u64(obj, "outage_down_ns").unwrap_or(0)),
+        phase: SimDuration::from_nanos(opt_u64(obj, "outage_phase_ns").unwrap_or(0)),
+    });
+    let link_failure = opt_u64(obj, "link_down_ns").map(|down| LinkFailure {
+        down_at: SimTime::from_nanos(down),
+        up_at: opt_u64(obj, "link_up_ns").map(SimTime::from_nanos),
+    });
+    Ok(RobustnessConfig {
+        scheme: scheme_from_str(get_str(obj, "scheme")?)?,
+        loss: get_u64(obj, "loss_ppm")? as f64 / 1e6,
+        corrupt: get_u64(obj, "corrupt_ppm")? as f64 / 1e6,
+        outage,
+        link_failure,
+        n_users: get_u64(obj, "n_users")? as usize,
+        file_size: get_u64(obj, "file_size")? as u32,
+        bottleneck_bps: get_u64(obj, "bottleneck_bps")?,
+        grant: grant_from_json(obj)?,
+        duration: SimTime::from_nanos(get_u64(obj, "duration_ns")?),
+        failure_grace: SimDuration::from_nanos(get_u64(obj, "failure_grace_ns")?),
+        seed: get_seed(obj)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Artifacts.
+
+/// Composes the full replay-artifact document.
+pub fn artifact_json(
+    harness: &str,
+    config: Value,
+    extras: Option<FuzzExtras>,
+    report: &CheckReport,
+) -> Value {
+    let mut m = Map::new();
+    m.insert("kind".into(), Value::String("tva-check-artifact".into()));
+    m.insert("version".into(), num(1));
+    m.insert("harness".into(), Value::String(harness.into()));
+    m.insert("config".into(), config);
+    if let Some(extras) = extras {
+        m.insert("extras".into(), extras.to_json());
+    }
+    m.insert("clean".into(), Value::Bool(report.is_clean()));
+    m.insert(
+        "violated".into(),
+        Value::Array(
+            report
+                .violated_invariants()
+                .into_iter()
+                .map(|s| Value::String(s.into()))
+                .collect(),
+        ),
+    );
+    m.insert("violations".into(), report.violations_json());
+    m.insert("events_audited".into(), num(report.events_audited));
+    m.insert("audit_passes".into(), num(report.audit_passes));
+    Value::Object(m)
+}
+
+/// Writes the artifact as `<dir>/<name>.json` and dumps this thread's
+/// flight-recorder ring next to it as `<dir>/<name>.flight.json`.
+/// Returns both paths.
+pub fn write_artifact(
+    dir: &Path,
+    name: &str,
+    doc: &Value,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    fs::create_dir_all(dir)?;
+    let artifact = dir.join(format!("{name}.json"));
+    let text = serde_json::to_string_pretty(doc)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    fs::write(&artifact, text + "\n")?;
+    let flight = dir.join(format!("{name}.flight.json"));
+    tva_obs::dump_thread_flight(&flight, "invariant violation")?;
+    Ok((artifact, flight))
+}
+
+/// A parsed replay artifact: which harness to re-run, with what
+/// configuration, and the invariant labels the original run violated.
+#[derive(Debug, Clone)]
+pub enum ReplayCase {
+    /// A dumbbell scenario run (plus fuzzer fault injection).
+    Scenario {
+        /// Full scenario configuration, seed included.
+        cfg: Box<ScenarioConfig>,
+        /// Bottleneck fault injection applied on top.
+        extras: FuzzExtras,
+    },
+    /// A diamond-topology robustness run.
+    Robustness {
+        /// Full robustness configuration, seed included.
+        cfg: Box<RobustnessConfig>,
+    },
+}
+
+/// A replay artifact read back from disk.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// What to re-run.
+    pub case: ReplayCase,
+    /// Invariant labels the recorded run violated (the comparison key).
+    pub violated: Vec<String>,
+}
+
+/// Reads and validates a replay artifact.
+pub fn read_artifact(path: &Path) -> Result<Artifact, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let obj = as_object(&doc, "artifact")?;
+    if get_str(obj, "kind")? != "tva-check-artifact" {
+        return Err("not a tva-check artifact".into());
+    }
+    let config = get(obj, "config")?;
+    let case = match get_str(obj, "harness")? {
+        "scenario" => ReplayCase::Scenario {
+            cfg: Box::new(scenario_from_json(config)?),
+            extras: match obj.get("extras") {
+                Some(v) => FuzzExtras::from_json(v)?,
+                None => FuzzExtras::default(),
+            },
+        },
+        "robustness" => ReplayCase::Robustness { cfg: Box::new(robustness_from_json(config)?) },
+        other => return Err(format!("unknown harness {other:?}")),
+    };
+    let violated = match get(obj, "violated")? {
+        Value::Array(items) => items
+            .iter()
+            .map(|v| match v {
+                Value::String(s) => Ok(s.clone()),
+                _ => Err("violated: expected strings".to_string()),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("violated: expected an array".into()),
+    };
+    Ok(Artifact { case, violated })
+}
+
+/// Re-runs an artifact's case under the auditors and returns the freshly
+/// observed violated-invariant labels (empty = clean).
+pub fn replay(artifact: &Artifact, check: &CheckConfig) -> Vec<String> {
+    let report = match &artifact.case {
+        ReplayCase::Scenario { cfg, extras } => run_checked(cfg, extras, check).1,
+        ReplayCase::Robustness { cfg } => run_robustness_checked(cfg, check).1,
+    };
+    report.violated_invariants().into_iter().map(str::to_string).collect()
+}
+
+// ---------------------------------------------------------------------------
+// The fuzzer's configuration generator.
+
+fn pick(rng: &mut SmallRng, lo: u64, hi: u64) -> u64 {
+    debug_assert!(lo < hi);
+    lo + rng.next_u64() % (hi - lo)
+}
+
+fn chance(rng: &mut SmallRng, percent: u64) -> bool {
+    rng.next_u64() % 100 < percent
+}
+
+/// Derives a randomized scenario + fault-injection mix from a seed. Runs
+/// are deliberately small (tens of simulated seconds, a handful of hosts)
+/// so a fuzz batch of many seeds finishes in well under a minute; the
+/// mapping is pure, so one seed is a complete reproduction recipe.
+pub fn random_config(seed: u64) -> (ScenarioConfig, FuzzExtras) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xF0DD_C0DE);
+    let scheme = Scheme::ALL[pick(&mut rng, 0, 4) as usize];
+    let attack = match pick(&mut rng, 0, 7) {
+        0 => Attack::None,
+        1 => Attack::LegacyFlood,
+        2 => Attack::RequestFlood,
+        3 => Attack::AuthorizedColluder,
+        4 => Attack::ImpreciseAllAtOnce,
+        5 => Attack::ImpreciseStaged {
+            groups: pick(&mut rng, 2, 5) as usize,
+            wave_secs: pick(&mut rng, 2, 6),
+        },
+        _ => Attack::Combined,
+    };
+    let duration_secs = pick(&mut rng, 12, 30);
+    let cfg = ScenarioConfig {
+        scheme,
+        attack,
+        n_attackers: if attack == Attack::None { 0 } else { pick(&mut rng, 1, 12) as usize },
+        n_users: pick(&mut rng, 2, 6) as usize,
+        transfers_per_user: pick(&mut rng, 2, 6) as usize,
+        file_size: pick(&mut rng, 4, 33) as u32 * 1024,
+        bottleneck_bps: pick(&mut rng, 2, 11) * 1_000_000,
+        attacker_rate_bps: pick(&mut rng, 500, 2_001) * 1_000,
+        request_fraction: pick(&mut rng, 10_000, 50_001) as f64 / 1e6,
+        grant: Grant::from_parts(pick(&mut rng, 16, 101) as u16, pick(&mut rng, 2, 11) as u8),
+        attack_start: SimTime::from_secs(pick(&mut rng, 0, 4)),
+        duration: SimTime::from_secs(duration_secs),
+        failure_grace: SimDuration::from_secs(pick(&mut rng, 4, 10)),
+        measure_after: SimTime::ZERO,
+        seed,
+        siff_key_rotation: SimDuration::from_secs(pick(&mut rng, 3, 64)),
+        siff_accept_previous: chance(&mut rng, 50),
+        deny_attackers: chance(&mut rng, 50),
+        // A quarter of runs harden the TVA routers down to per-flow queue
+        // caps smaller than a full-size packet — the regime where queue
+        // admission must reject a flow's very first packet (the DRR
+        // stub-key leak's trigger).
+        per_queue_cap_bytes: chance(&mut rng, 25).then(|| pick(&mut rng, 256, 1800)),
+    };
+    let mut extras = FuzzExtras::default();
+    if chance(&mut rng, 50) {
+        extras.loss_ppm = pick(&mut rng, 0, 20_001) as u32;
+        extras.corrupt_ppm = pick(&mut rng, 0, 20_001) as u32;
+    }
+    if chance(&mut rng, 30) {
+        let down = pick(&mut rng, 3, duration_secs.saturating_sub(4).max(4));
+        extras.link_down_ns = Some(SimTime::from_secs(down).as_nanos());
+        if chance(&mut rng, 75) {
+            let up = down + pick(&mut rng, 1, 5);
+            extras.link_up_ns = Some(SimTime::from_secs(up).as_nanos());
+        }
+    }
+    (cfg, extras)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_config_roundtrips_through_json() {
+        for seed in [0, 1, 7, 42, u64::MAX - 3] {
+            let (cfg, extras) = random_config(seed);
+            let back = scenario_from_json(&scenario_to_json(&cfg)).unwrap();
+            // ScenarioConfig is not PartialEq (f64 fields); compare the
+            // canonical JSON forms instead — equal trees ⇒ equal configs.
+            let (a, b) = (scenario_to_json(&cfg), scenario_to_json(&back));
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap()
+            );
+            let extras_back = FuzzExtras::from_json(&extras.to_json()).unwrap();
+            assert_eq!(extras, extras_back);
+        }
+    }
+
+    #[test]
+    fn robustness_config_roundtrips_through_json() {
+        let cfg = RobustnessConfig {
+            scheme: Scheme::Siff,
+            loss: 0.013,
+            corrupt: 0.002,
+            outage: Some(DutyCycleOutage {
+                period: SimDuration::from_secs(5),
+                down: SimDuration::from_millis(400),
+                phase: SimDuration::from_millis(100),
+            }),
+            link_failure: Some(LinkFailure {
+                down_at: SimTime::from_secs(30),
+                up_at: Some(SimTime::from_secs(45)),
+            }),
+            seed: 987654321,
+            ..RobustnessConfig::default()
+        };
+        let back = robustness_from_json(&robustness_to_json(&cfg)).unwrap();
+        let (a, b) = (robustness_to_json(&cfg), robustness_to_json(&back));
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+
+    #[test]
+    fn artifact_roundtrips_through_disk() {
+        let (cfg, extras) = random_config(3);
+        let report = CheckReport::default();
+        let doc = artifact_json("scenario", scenario_to_json(&cfg), Some(extras), &report);
+        let dir = std::env::temp_dir().join("tva-check-test-artifact");
+        tva_obs::install_thread_flight(16);
+        let (path, flight) = write_artifact(&dir, "roundtrip", &doc).unwrap();
+        let art = read_artifact(&path).unwrap();
+        assert!(art.violated.is_empty());
+        match art.case {
+            ReplayCase::Scenario { cfg: cfg2, extras: extras2 } => {
+                assert_eq!(cfg.seed, cfg2.seed);
+                assert_eq!(extras, extras2);
+            }
+            ReplayCase::Robustness { .. } => panic!("wrong harness"),
+        }
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(flight);
+    }
+
+    #[test]
+    fn random_config_is_deterministic() {
+        let (a, ea) = random_config(99);
+        let (b, eb) = random_config(99);
+        assert_eq!(
+            serde_json::to_string(&scenario_to_json(&a)).unwrap(),
+            serde_json::to_string(&scenario_to_json(&b)).unwrap()
+        );
+        assert_eq!(ea, eb);
+    }
+}

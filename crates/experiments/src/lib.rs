@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "check")]
+pub mod check;
 pub mod figrun;
 pub mod figures;
 pub mod observe;

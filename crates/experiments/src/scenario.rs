@@ -128,6 +128,12 @@ pub struct ScenarioConfig {
     /// Whether the destination pre-denies attacker addresses (the §5.2
     /// assumption that it can distinguish attacker requests).
     pub deny_attackers: bool,
+    /// Override for the TVA routers' per-flow queue byte cap (`None` keeps
+    /// the `RouterConfig` default). Small caps model memory-hardened
+    /// routers where per-flow admission actually bites; the `invcheck`
+    /// fuzzer explores them because that is where queue-admission bugs
+    /// (e.g. the DRR stub-key leak) become reachable.
+    pub per_queue_cap_bytes: Option<u64>,
 }
 
 impl Default for ScenarioConfig {
@@ -151,6 +157,7 @@ impl Default for ScenarioConfig {
             siff_key_rotation: SimDuration::from_secs(128),
             siff_accept_previous: true,
             deny_attackers: false,
+            per_queue_cap_bytes: None,
         }
     }
 }
@@ -223,12 +230,33 @@ pub fn run_inspect(
 }
 
 /// The standard run loop: install the env-configured flight recorder (if
-/// any) and run straight to the horizon.
+/// any) and run straight to the horizon. With the `check` feature built
+/// in and `TVA_CHECK=1` set, the run is instead driven in audited steps
+/// and panics (after dumping a replay artifact) on any invariant
+/// violation.
 fn default_driver(
     cfg: &ScenarioConfig,
 ) -> impl FnOnce(&mut tva_sim::Simulator, &BuiltNodes) {
     let end = cfg.duration;
+    #[cfg(feature = "check")]
+    let cfg_check = cfg.clone();
     move |sim, _| {
+        #[cfg(feature = "check")]
+        {
+            let check = tva_check::CheckConfig::from_env();
+            if check.enabled {
+                let report = crate::check::drive_checked(sim, end, &check);
+                crate::check::enforce_clean(
+                    &check,
+                    "scenario",
+                    cfg_check.seed,
+                    crate::check::scenario_to_json(&cfg_check),
+                    None,
+                    &report,
+                );
+                return;
+            }
+        }
         let flight = tva_obs::ObsConfig::from_env().flight_events;
         if flight > 0 {
             tva_obs::install_thread_flight(flight);
@@ -270,16 +298,20 @@ struct Builder<'a> {
 
 impl<'a> Builder<'a> {
     fn new(cfg: &'a ScenarioConfig) -> Self {
-        let tva_cfg1 = RouterConfig {
+        let mut tva_cfg1 = RouterConfig {
             request_fraction: cfg.request_fraction,
             secret_seed: cfg.seed ^ 0x1111,
             ..RouterConfig::default()
         };
-        let tva_cfg2 = RouterConfig {
+        let mut tva_cfg2 = RouterConfig {
             request_fraction: cfg.request_fraction,
             secret_seed: cfg.seed ^ 0x2222,
             ..RouterConfig::default()
         };
+        if let Some(cap) = cfg.per_queue_cap_bytes {
+            tva_cfg1.per_queue_cap_bytes = cap;
+            tva_cfg2.per_queue_cap_bytes = cap;
+        }
         let siff_cfg = SiffConfig {
             key_rotation: cfg.siff_key_rotation,
             accept_previous: cfg.siff_accept_previous,

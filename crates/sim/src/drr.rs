@@ -75,28 +75,40 @@ impl<K: Hash + Eq + Clone> Drr<K> {
 
     /// Offers a packet under `key`. Returns false (and counts a drop) if the
     /// key's queue is full or the key table is exhausted.
+    ///
+    /// All admission checks run *before* any state for a new key is created:
+    /// a rejected first packet must leave no trace, or an attacker sending
+    /// one oversized packet per manufactured key could pin stub entries in
+    /// the key table until `max_queues` is exhausted.
     pub fn enqueue(&mut self, key: K, pkt: Pkt) -> bool {
         let len = pkt.wire_len() as u64;
-        if !self.queues.contains_key(&key) {
-            if self.queues.len() >= self.max_queues {
-                self.drops += 1;
-                return false;
+        match self.queues.get_mut(&key) {
+            Some(q) => {
+                if q.bytes + len > self.per_queue_cap {
+                    self.drops += 1;
+                    return false;
+                }
+                q.bytes += len;
+                q.pkts.push_back(pkt);
+                if !q.backlogged {
+                    q.backlogged = true;
+                    q.deficit = 0;
+                    self.active.push_back(key);
+                }
             }
-            let pkts = self.spare.pop().unwrap_or_default();
-            self.queues
-                .insert(key.clone(), SubQueue { pkts, bytes: 0, deficit: 0, backlogged: false });
-        }
-        let q = self.queues.get_mut(&key).expect("just inserted");
-        if q.bytes + len > self.per_queue_cap {
-            self.drops += 1;
-            return false;
-        }
-        q.bytes += len;
-        q.pkts.push_back(pkt);
-        if !q.backlogged {
-            q.backlogged = true;
-            q.deficit = 0;
-            self.active.push_back(key);
+            None => {
+                if self.queues.len() >= self.max_queues || len > self.per_queue_cap {
+                    self.drops += 1;
+                    return false;
+                }
+                let mut pkts = self.spare.pop().unwrap_or_default();
+                pkts.push_back(pkt);
+                self.queues.insert(
+                    key.clone(),
+                    SubQueue { pkts, bytes: len, deficit: 0, backlogged: true },
+                );
+                self.active.push_back(key);
+            }
         }
         self.total_bytes += len;
         self.total_pkts += 1;
@@ -157,6 +169,70 @@ impl<K: Hash + Eq + Clone> Drr<K> {
     /// Cumulative drops (full queue or key-table exhaustion).
     pub fn drops(&self) -> u64 {
         self.drops
+    }
+
+    /// Verifies the scheduler's internal accounting (cold path; used by the
+    /// `tva-check` runtime auditors). Checks that:
+    ///
+    /// * `total_bytes` / `total_pkts` equal the sums over held packets;
+    /// * every sub-queue is non-empty and marked backlogged — an empty
+    ///   entry is a stub pinning a key slot (the class of state-exhaustion
+    ///   bug this auditor exists to catch);
+    /// * per-queue byte ledgers match their packets and respect the cap;
+    /// * the `active` ring and the key table are in exact bijection.
+    pub fn audit(&self) -> Result<(), String> {
+        let mut bytes = 0u64;
+        let mut pkts = 0usize;
+        for q in self.queues.values() {
+            if q.pkts.is_empty() {
+                return Err("drr: empty sub-queue stub pinned in key table".into());
+            }
+            if !q.backlogged {
+                return Err("drr: non-empty sub-queue not marked backlogged".into());
+            }
+            let qb: u64 = q.pkts.iter().map(|p| p.wire_len() as u64).sum();
+            if qb != q.bytes {
+                return Err(format!("drr: sub-queue ledger {} != held bytes {qb}", q.bytes));
+            }
+            if q.bytes > self.per_queue_cap {
+                return Err(format!(
+                    "drr: sub-queue holds {} bytes over cap {}",
+                    q.bytes, self.per_queue_cap
+                ));
+            }
+            bytes += qb;
+            pkts += q.pkts.len();
+        }
+        if bytes != self.total_bytes {
+            return Err(format!("drr: total_bytes {} != held bytes {bytes}", self.total_bytes));
+        }
+        if pkts != self.total_pkts {
+            return Err(format!("drr: total_pkts {} != held packets {pkts}", self.total_pkts));
+        }
+        if self.queues.len() > self.max_queues {
+            return Err(format!(
+                "drr: {} keys exceed max_queues {}",
+                self.queues.len(),
+                self.max_queues
+            ));
+        }
+        if self.active.len() != self.queues.len() {
+            return Err(format!(
+                "drr: active ring has {} keys, table has {}",
+                self.active.len(),
+                self.queues.len()
+            ));
+        }
+        let mut seen: DetHashMap<K, ()> = DetHashMap::default();
+        for key in &self.active {
+            if !self.queues.contains_key(key) {
+                return Err("drr: active ring references a key missing from the table".into());
+            }
+            if seen.insert(key.clone(), ()).is_some() {
+                return Err("drr: key appears twice in the active ring".into());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -250,6 +326,61 @@ mod tests {
         assert_eq!(d.active_queues(), 0);
         // Capacity is freed for new keys.
         assert!(d.enqueue(3, pkt(3, 100)));
+    }
+
+    #[test]
+    fn rejected_first_packet_leaves_no_stub_key() {
+        // Regression: an oversized *first* packet for a fresh key used to
+        // insert an empty SubQueue before the per-queue-cap check; the stub
+        // was never removed (dequeue only removes backlogged keys) and
+        // permanently consumed a key slot — attacker-reachable state
+        // exhaustion defeating the bounded-memory claim.
+        let mut d: Drr<u32> = Drr::new(1500, 250, 2);
+        assert!(!d.enqueue(1, pkt(1, 500)), "oversized first packet must be dropped");
+        assert_eq!(d.active_queues(), 0, "dropped first packet must not pin a key slot");
+        assert_eq!(d.drops(), 1);
+        d.audit().expect("accounting clean after rejected first packet");
+        // Both key slots remain usable by well-behaved keys.
+        assert!(d.enqueue(2, pkt(2, 100)));
+        assert!(d.enqueue(3, pkt(3, 100)));
+        assert_eq!(d.active_queues(), 2);
+        d.audit().expect("accounting clean after refill");
+    }
+
+    #[test]
+    fn attacker_cannot_exhaust_key_table_with_oversized_firsts() {
+        // Pre-fix, `max_queues` oversized first packets from distinct keys
+        // permanently filled the table with stubs, locking legitimate keys
+        // out forever. Post-fix the table stays empty.
+        let mut d: Drr<u32> = Drr::new(1500, 250, 4);
+        for k in 0..100u32 {
+            assert!(!d.enqueue(k, pkt(k as u64, 500)));
+        }
+        assert_eq!(d.active_queues(), 0);
+        assert_eq!(d.drops(), 100);
+        for k in 0..4u32 {
+            assert!(d.enqueue(1000 + k, pkt(1000 + k as u64, 100)), "legitimate key {k} locked out");
+        }
+        d.audit().expect("accounting clean");
+    }
+
+    #[test]
+    fn audit_checks_pass_through_churn() {
+        let mut d: Drr<u32> = Drr::new(1500, 4000, 8);
+        for round in 0..50u64 {
+            for k in 0..8u32 {
+                d.enqueue(k, pkt(round * 100 + k as u64, 200 + (k * 37) % 800));
+            }
+            for _ in 0..6 {
+                d.dequeue();
+            }
+            d.audit().expect("accounting stays clean under churn");
+        }
+        while d.dequeue().is_some() {}
+        d.audit().expect("accounting clean when drained");
+        assert_eq!(d.len_pkts(), 0);
+        assert_eq!(d.len_bytes(), 0);
+        assert_eq!(d.active_queues(), 0);
     }
 
     #[test]

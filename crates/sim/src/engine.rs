@@ -60,6 +60,58 @@ impl Channel {
     pub fn queue_bytes(&self) -> u64 {
         self.queue.len_bytes()
     }
+
+    /// Whether the serializer is mid-transmission.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Packets currently being serialized (0 or 1).
+    pub fn in_flight_pkts(&self) -> usize {
+        usize::from(self.in_flight.is_some())
+    }
+
+    /// The egress queue discipline, for downcasting by auditors.
+    pub fn queue_disc(&self) -> &dyn QueueDisc {
+        &*self.queue
+    }
+
+    /// Verifies this channel's accounting (cold path; used by the
+    /// `TVA_CHECK` runtime auditors): the egress queue's own ledgers, the
+    /// busy/in-flight pairing, and the [`ChannelStats`] conservation
+    /// identities — packets and bytes accepted minus transmitted must equal
+    /// exactly what the queue still holds.
+    pub fn audit(&self) -> Result<(), String> {
+        self.queue.audit()?;
+        if self.busy != self.in_flight.is_some() {
+            return Err(format!(
+                "channel: busy={} but in_flight={}",
+                self.busy,
+                self.in_flight.is_some()
+            ));
+        }
+        let held_pkts = self.queue.len_pkts() as u64;
+        match self.stats.enqueued_pkts.checked_sub(self.stats.tx_pkts) {
+            Some(d) if d == held_pkts => {}
+            got => {
+                return Err(format!(
+                    "channel: enqueued {} - tx {} != {} pkts held (delta {got:?})",
+                    self.stats.enqueued_pkts, self.stats.tx_pkts, held_pkts
+                ));
+            }
+        }
+        let held_bytes = self.queue.len_bytes();
+        match self.stats.enqueued_bytes.checked_sub(self.stats.tx_bytes) {
+            Some(d) if d == held_bytes => {}
+            got => {
+                return Err(format!(
+                    "channel: enqueued {} - tx {} != {} bytes held (delta {got:?})",
+                    self.stats.enqueued_bytes, self.stats.tx_bytes, held_bytes
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// What the wire did to a packet that finished serializing.
@@ -614,6 +666,41 @@ impl Simulator {
             .as_any()
             .downcast_ref::<T>()
             .expect("node type mismatch")
+    }
+
+    /// Immutable access to a node if (and only if) it has concrete type
+    /// `T` — the non-panicking variant of [`Simulator::node`], for auditors
+    /// scanning heterogeneous node sets.
+    pub fn try_node<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes[id.0].as_any().downcast_ref::<T>()
+    }
+
+    /// Number of nodes, for iterating `NodeId(0..n)`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Per-channel count of packets inside pending `Arrival` events —
+    /// transmitted, propagating, not yet delivered to the receiving node.
+    /// Cold path: one pass over the event slab, used by the packet-
+    /// conservation auditor.
+    pub fn pending_arrivals_by_channel(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.core.channels.len()];
+        for kind in self.core.events.iter_kinds() {
+            if let EventKind::Arrival { from, .. } = kind {
+                counts[from.0] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Audits every channel's accounting (see [`Channel::audit`]); the
+    /// error names the offending channel.
+    pub fn audit_channels(&self) -> Result<(), String> {
+        for (i, c) in self.core.channels.iter().enumerate() {
+            c.audit().map_err(|e| format!("channel {i} ({:?}->{:?}): {e}", c.from, c.to))?;
+        }
+        Ok(())
     }
 
     /// Mutable access to a node, downcast to its concrete type.

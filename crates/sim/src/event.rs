@@ -164,6 +164,12 @@ impl EventQueue {
         self.heap.len()
     }
 
+    /// Iterates the pending event payloads in slab (not dispatch) order.
+    /// Cold path: used by the runtime auditors to count engine-held packets.
+    pub fn iter_kinds(&self) -> impl Iterator<Item = &EventKind> {
+        self.kinds.iter().filter_map(|k| k.as_ref())
+    }
+
     fn sift_up(&mut self, mut i: usize) {
         let e = self.heap[i];
         while i > 0 {

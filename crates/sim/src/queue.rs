@@ -49,6 +49,23 @@ pub trait QueueDisc: Send {
 
     /// Bytes currently held.
     fn len_bytes(&self) -> u64;
+
+    /// Verifies the discipline's internal accounting — byte/packet ledgers
+    /// against the packets actually held, plus any key-table bookkeeping.
+    /// Cold path: called only by the `TVA_CHECK` runtime auditors, never on
+    /// the forwarding path. The default is fine for disciplines without
+    /// derived ledgers.
+    fn audit(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// The concrete discipline as `Any`, for auditors that inspect specific
+    /// scheduler types (e.g. cross-checking a TVA scheduler's per-class
+    /// counters against its router's validation counters). Disciplines
+    /// without such cross-checks keep the `None` default.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// A bounded drop-tail FIFO — the legacy Internet's queue and the building
@@ -115,6 +132,23 @@ impl QueueDisc for DropTail {
 
     fn len_bytes(&self) -> u64 {
         self.bytes
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        let held: u64 = self.queue.iter().map(|p| p.wire_len() as u64).sum();
+        if held != self.bytes {
+            return Err(format!("droptail: byte ledger {} != held bytes {held}", self.bytes));
+        }
+        if self.bytes > self.capacity_bytes || self.queue.len() > self.capacity_pkts {
+            return Err(format!(
+                "droptail: holding {} bytes / {} pkts over caps {} / {}",
+                self.bytes,
+                self.queue.len(),
+                self.capacity_bytes,
+                self.capacity_pkts
+            ));
+        }
+        Ok(())
     }
 }
 

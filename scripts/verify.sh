@@ -16,6 +16,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> fault-injection smoke (loss sweep + mid-transfer link failure)"
 cargo run --release -q -p tva-experiments --bin robustness -- --smoke
 
+echo "==> invariant-checker smoke (fuzz batch + replay round-trip, auditors on)"
+rm -rf target/verify-invcheck
+cargo run --release -q -p tva-experiments --bin invcheck -- \
+  fuzz --seeds 16 --start 1 --dir target/verify-invcheck
+cargo run --release -q -p tva-experiments --bin invcheck -- \
+  dump --seed 20 --out target/verify-invcheck/fixture.json
+cargo run --release -q -p tva-experiments --bin invcheck -- \
+  replay target/verify-invcheck/fixture.json
+TVA_CHECK=1 cargo run --release -q -p tva-experiments --bin robustness -- --smoke
+
 echo "==> allocation discipline (counting allocator, steady-state dumbbell)"
 cargo test -q --release -p tva-bench --features alloc-count --test alloc_steady
 

@@ -159,6 +159,66 @@ proptest! {
         }
     }
 
+    /// The flow table's `entries` map and `by_expiry` reclaim index stay in
+    /// exact bijection under any interleaving of creates (fresh flows,
+    /// same-capability replacements, renewals), charges, and reclaim
+    /// pressure — the pairing the `TVA_CHECK` flow-table auditor enforces
+    /// at runtime. A desync would let reclaim pick phantom victims or
+    /// strand live entries forever.
+    #[test]
+    fn flowtable_index_stays_in_bijection(
+        ops in proptest::collection::vec(
+            (0u8..4, 0u32..6, 0u64..2000, 40u32..1500, 0u64..4),
+            1..300,
+        ),
+        bound in 1usize..6,
+    ) {
+        let mut table = FlowTable::new(bound);
+        let grant = Grant::from_parts(8, 4);
+        let mut now = SimTime::ZERO;
+        for (op, flow_i, gap_ms, len, cap_i) in ops {
+            now += SimDuration::from_millis(gap_ms);
+            let flow = FlowKey::new(Addr(flow_i), DST);
+            match op {
+                // Create: may be a fresh admission, a same-capability
+                // replacement (nonce churn), a renewal, or a reclaim of
+                // some other flow's expired slot.
+                0 | 1 => {
+                    let _ = table.create(
+                        flow,
+                        CapValue::new(0, cap_i),
+                        FlowNonce::new(now.as_nanos()),
+                        grant,
+                        len,
+                        now,
+                    );
+                }
+                // Charge an existing entry (no-op when absent).
+                2 => {
+                    let _ = table.charge(flow, len, now);
+                }
+                // A long idle gap, then maximum reclaim pressure from a
+                // burst of competitors.
+                _ => {
+                    now += SimDuration::from_secs(3);
+                    for c in 0..4u32 {
+                        let comp = FlowKey::new(Addr::new(9, 9, 9, c as u8), DST);
+                        let _ = table.create(
+                            comp,
+                            CapValue::new(0, 0xC0 + c as u64),
+                            FlowNonce::new(c as u64),
+                            grant,
+                            100,
+                            now,
+                        );
+                    }
+                }
+            }
+            prop_assert!(table.audit().is_ok(), "{}", table.audit().unwrap_err());
+            prop_assert!(table.len() <= bound);
+        }
+    }
+
     /// A router demotes (never panics on) arbitrary garbage capability
     /// headers decoded from random bytes.
     #[test]
