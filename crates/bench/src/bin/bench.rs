@@ -6,14 +6,16 @@
 //!   5-user TVA dumbbell (best of three runs),
 //! * **figure wall time** — seconds to run the Figure 8 quick sweep grid
 //!   (the per-figure scenario cost every reproduction pays), and
-//! * **scale headline** — events/sec and peak RSS for the quick (~10k-host)
-//!   variant of the internet-scale tree (`scale_*` keys; the full 100k-host
-//!   run stays in the separate `scale` binary).
+//! * **scale headlines** — events/sec and peak RSS for three tiers of the
+//!   internet-scale tree, labeled explicitly so the gate compares like
+//!   with like: `scale_quick_*` (~10k hosts), `scale_full_*` (~100k
+//!   hosts), and `scale1m_*` (1M hosts / 100k attackers on the sharded
+//!   engine — the fig11-shape headline).
 //!
 //! If `BENCH_sim.json` already exists the new numbers are gated against it:
-//! a >10% drop in events/sec or a >10% rise in fig8 wall time refuses to
-//! overwrite the baseline and exits non-zero unless `--force` is given.
-//! `scripts/bench.sh` wraps this binary.
+//! a >10% drop in engine or scale1m events/sec or a >10% rise in fig8 wall
+//! time refuses to overwrite the baseline and exits non-zero unless
+//! `--force` is given. `scripts/bench.sh` wraps this binary.
 //!
 //! Flags: `--force` (accept a regression), `--engine-only` (skip the fig8
 //! sweep), `--out PATH` (baseline location, default `BENCH_sim.json`).
@@ -28,6 +30,30 @@ use tva_experiments::{fig8, run_all, Fidelity};
 
 /// Fractional change beyond which the gate refuses without `--force`.
 const GATE: f64 = 0.10;
+/// Scale-tier keys carried forward by `--engine-only` runs.
+const SCALE_KEYS: &[&str] = &[
+    "scale_quick_hosts",
+    "scale_quick_attackers",
+    "scale_quick_shards",
+    "scale_quick_events",
+    "scale_quick_events_per_sec",
+    "scale_quick_build_s",
+    "scale_quick_peak_rss_kb",
+    "scale_full_hosts",
+    "scale_full_attackers",
+    "scale_full_shards",
+    "scale_full_events",
+    "scale_full_events_per_sec",
+    "scale_full_build_s",
+    "scale_full_peak_rss_kb",
+    "scale1m_hosts",
+    "scale1m_attackers",
+    "scale1m_shards",
+    "scale1m_events",
+    "scale1m_events_per_sec",
+    "scale1m_build_s",
+    "scale1m_peak_rss_kb",
+];
 const ENGINE_SIM_SECS: u64 = 200;
 /// Default engine repetitions (best-of). `TVA_BENCH_ENGINE_REPS` overrides
 /// — noisy shared machines want more reps for a stable minimum.
@@ -108,17 +134,25 @@ fn main() {
         per_pkt
     });
 
-    // The internet-scale tree, CI-sized: tracks that a 10k-host topology
-    // still builds and dispatches at full speed. (`--engine-only` skips it
-    // along with the sweep.)
+    // The internet-scale tree at its three tiers: quick (~10k hosts, the
+    // CI canary), full (~100k hosts, what CHANGES.md advertises), and the
+    // 1M-host / 100k-attacker fig11-shape headline on the sharded engine.
+    // (`--engine-only` skips all of them along with the sweep.)
     let scale = (!engine_only).then(|| {
-        eprintln!("scale quick: {} hosts ...", ScaleConfig::quick().hosts);
-        let run = run_scale(ScaleConfig::quick());
-        eprintln!(
-            "scale quick: {} events in {:.2}s = {:.0} events/s",
-            run.events, run.run_s, run.events_per_sec
-        );
-        run
+        let tier = |label: &str, cfg: ScaleConfig| {
+            eprintln!("scale {label}: {} hosts ({} shards) ...", cfg.hosts, cfg.shards);
+            let run = run_scale(cfg);
+            eprintln!(
+                "scale {label}: {} events in {:.2}s = {:.0} events/s",
+                run.events, run.run_s, run.events_per_sec
+            );
+            run
+        };
+        (
+            tier("quick", ScaleConfig::quick()),
+            tier("full", ScaleConfig::full()),
+            tier("1m", ScaleConfig::full1m()),
+        )
     });
 
     let (fig8_runs, fig8_wall) = if engine_only {
@@ -137,14 +171,17 @@ fn main() {
 
     let mut kept_fig8 = None;
     let mut kept_allocs = None;
-    let mut kept_scale = None;
+    let mut kept_scale: Vec<(String, f64)> = Vec::new();
     if let Ok(old) = std::fs::read_to_string(&out) {
         if engine_only {
             // Carry the fig8 and scale baselines forward so an engine-only
             // run doesn't erase them.
             kept_fig8 = metric(&old, "fig8_runs").zip(metric(&old, "fig8_wall_s"));
-            kept_scale =
-                metric(&old, "scale_hosts").zip(metric(&old, "scale_events_per_sec"));
+            for key in SCALE_KEYS {
+                if let Some(v) = metric(&old, key) {
+                    kept_scale.push((key.to_string(), v));
+                }
+            }
         }
         if allocs_per_packet.is_none() {
             // Same for the allocation metric when this build lacks the
@@ -158,6 +195,16 @@ fn main() {
                     "engine events/sec: {old_eps:.0} -> {events_per_sec:.0} \
                      ({:+.1}%)",
                     (events_per_sec / old_eps - 1.0) * 100.0
+                ));
+            }
+        }
+        if let (Some(old_eps), Some((_, _, big))) = (metric(&old, "scale1m_events_per_sec"), &scale)
+        {
+            if big.events_per_sec < old_eps * (1.0 - GATE) {
+                regressions.push(format!(
+                    "scale1m events/sec: {old_eps:.0} -> {:.0} ({:+.1}%)",
+                    big.events_per_sec,
+                    (big.events_per_sec / old_eps - 1.0) * 100.0
                 ));
             }
         }
@@ -200,9 +247,11 @@ fn main() {
         "engine_events_per_sec_obs".into(),
         Value::Number(events_per_sec_obs.round()),
     );
+    // Clamped at 0: the obs hook cannot actually be a speedup, so a
+    // negative sample is box noise and would poison later gate ratios.
     map.insert(
         "obs_overhead_pct".into(),
-        Value::Number((obs_overhead_pct * 10.0).round() / 10.0),
+        Value::Number((obs_overhead_pct.max(0.0) * 10.0).round() / 10.0),
     );
     if let Some(app) = allocs_per_packet {
         map.insert("allocs_per_packet".into(), Value::Number((app * 10_000.0).round() / 10_000.0));
@@ -219,20 +268,28 @@ fn main() {
         map.insert("fig8_runs".into(), Value::Number(runs));
         map.insert("fig8_wall_s".into(), Value::Number(wall));
     }
-    if let Some(run) = &scale {
-        map.insert("scale_hosts".into(), Value::Number(run.hosts as f64));
-        map.insert("scale_events".into(), Value::Number(run.events as f64));
-        map.insert("scale_events_per_sec".into(), Value::Number(run.events_per_sec.round()));
-        map.insert(
-            "scale_build_s".into(),
-            Value::Number((run.build_s * 1000.0).round() / 1000.0),
-        );
-        if let Some(kb) = run.peak_rss_kb {
-            map.insert("scale_peak_rss_kb".into(), Value::Number(kb as f64));
+    if let Some((quick, full, big)) = &scale {
+        for (prefix, run) in [("scale_quick", quick), ("scale_full", full), ("scale1m", big)] {
+            map.insert(format!("{prefix}_hosts"), Value::Number(run.hosts as f64));
+            map.insert(format!("{prefix}_attackers"), Value::Number(run.attackers as f64));
+            map.insert(format!("{prefix}_shards"), Value::Number(run.shards as f64));
+            map.insert(format!("{prefix}_events"), Value::Number(run.events as f64));
+            map.insert(
+                format!("{prefix}_events_per_sec"),
+                Value::Number(run.events_per_sec.round()),
+            );
+            map.insert(
+                format!("{prefix}_build_s"),
+                Value::Number((run.build_s * 1000.0).round() / 1000.0),
+            );
+            if let Some(kb) = run.peak_rss_kb {
+                map.insert(format!("{prefix}_peak_rss_kb"), Value::Number(kb as f64));
+            }
         }
-    } else if let Some((hosts, eps)) = kept_scale {
-        map.insert("scale_hosts".into(), Value::Number(hosts));
-        map.insert("scale_events_per_sec".into(), Value::Number(eps));
+    } else {
+        for (key, v) in kept_scale {
+            map.insert(key, Value::Number(v));
+        }
     }
     let json = serde_json::to_string_pretty(&Value::Object(map)).expect("serializable");
     std::fs::write(&out, json + "\n").expect("write baseline");

@@ -7,6 +7,7 @@
 //! * `--quick` — the CI-sized variant (~10k hosts, same shape)
 //! * `--hosts N` / `--attackers N` / `--secs N` — override the population
 //!   and simulated horizon
+//! * `--shards N` — run the engine partitioned into N shards
 //! * `--out-dir DIR` — output directory (default `results`)
 
 use serde_json::{Map, Value};
@@ -41,6 +42,9 @@ fn main() {
     if let Some(n) = flag_value(&args, "--secs") {
         cfg.sim_secs = n;
     }
+    if let Some(n) = flag_value(&args, "--shards") {
+        cfg.shards = (n as usize).max(1);
+    }
     let out_dir = args
         .iter()
         .position(|a| a == "--out-dir")
@@ -49,8 +53,8 @@ fn main() {
         .unwrap_or_else(|| "results".to_string());
 
     eprintln!(
-        "scale: {} hosts / {} attackers / {} active users, {}s simulated ...",
-        cfg.hosts, cfg.attackers, cfg.active_users, cfg.sim_secs
+        "scale: {} hosts / {} attackers / {} active users, {}s simulated, {} shard(s) ...",
+        cfg.hosts, cfg.attackers, cfg.active_users, cfg.sim_secs, cfg.shards
     );
     let run = run_scale(cfg);
     eprintln!(
@@ -89,6 +93,7 @@ fn metrics_registry(r: &ScaleRun) -> tva_obs::Registry {
     };
     c(&mut reg, "scale.hosts", r.hosts as u64);
     c(&mut reg, "scale.attackers", r.attackers as u64);
+    c(&mut reg, "scale.shards", r.shards as u64);
     c(&mut reg, "scale.routers", r.routers as u64);
     c(&mut reg, "scale.events", r.events);
     c(&mut reg, "scale.bottleneck_tx_pkts", r.bottleneck_tx_pkts);
@@ -106,13 +111,14 @@ fn metrics_registry(r: &ScaleRun) -> tva_obs::Registry {
 
 fn tsv_report(r: &ScaleRun) -> String {
     let mut s = String::from(
-        "hosts\tattackers\trouters\tevents\tbuild_s\trun_s\tevents_per_sec\
+        "hosts\tattackers\tshards\trouters\tevents\tbuild_s\trun_s\tevents_per_sec\
          \tbottleneck_tx_pkts\tattack_pkts_emitted\tpeak_rss_kb\n",
     );
     s.push_str(&format!(
-        "{}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{:.0}\t{}\t{}\t{}\n",
+        "{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{:.0}\t{}\t{}\t{}\n",
         r.hosts,
         r.attackers,
+        r.shards,
         r.routers,
         r.events,
         r.build_s,
@@ -129,6 +135,7 @@ fn json_report(r: &ScaleRun) -> String {
     let mut map = Map::new();
     map.insert("hosts".into(), Value::Number(r.hosts as f64));
     map.insert("attackers".into(), Value::Number(r.attackers as f64));
+    map.insert("shards".into(), Value::Number(r.shards as f64));
     map.insert("routers".into(), Value::Number(r.routers as f64));
     map.insert("events".into(), Value::Number(r.events as f64));
     map.insert("build_s".into(), Value::Number((r.build_s * 1000.0).round() / 1000.0));

@@ -54,6 +54,8 @@ pub struct ScaleConfig {
     pub attacker_rate_bps: u64,
     /// Engine seed.
     pub seed: u64,
+    /// Engine shard count (1 = the single event loop).
+    pub shards: usize,
 }
 
 impl ScaleConfig {
@@ -68,12 +70,27 @@ impl ScaleConfig {
             sim_secs: 2,
             attacker_rate_bps: 100_000,
             seed: 3,
+            shards: 1,
         }
     }
 
     /// A CI-sized variant (~10k hosts) with the same shape.
     pub fn quick() -> Self {
         ScaleConfig { hosts: 10_000, attackers: 1_000, active_users: 100, ..Self::full() }
+    }
+
+    /// The fig11-shape headline: 1M hosts / 100k attackers, sharded. A
+    /// wider core (20 mids) keeps the per-leaf host share at fig11's
+    /// full-size proportion and gives the partitioner real structure.
+    pub fn full1m() -> Self {
+        ScaleConfig {
+            hosts: 1_000_000,
+            attackers: 100_000,
+            mid_routers: 20,
+            sim_secs: 1,
+            shards: 8,
+            ..Self::full()
+        }
     }
 }
 
@@ -84,6 +101,8 @@ pub struct ScaleRun {
     pub hosts: usize,
     /// Flooding hosts.
     pub attackers: usize,
+    /// Shards the engine actually ran (after clamping/fallback).
+    pub shards: usize,
     /// Routers built (root + mid + leaf).
     pub routers: usize,
     /// Engine events dispatched.
@@ -247,7 +266,7 @@ pub fn run_scale(cfg: ScaleConfig) -> ScaleRun {
     assert_eq!(host_idx, cfg.hosts);
 
     let routers = 1 + cfg.mid_routers * (1 + cfg.leaf_routers_per_mid);
-    let mut sim = t.build(cfg.seed);
+    let mut sim = t.build_sharded(cfg.seed, Some(cfg.shards));
     let build_s = t_build.elapsed().as_secs_f64();
 
     for n in kicks {
@@ -263,6 +282,7 @@ pub fn run_scale(cfg: ScaleConfig) -> ScaleRun {
     ScaleRun {
         hosts: cfg.hosts,
         attackers: cfg.attackers,
+        shards: sim.shard_count(),
         routers,
         events,
         build_s,
@@ -296,5 +316,26 @@ mod tests {
         assert!(run.attack_pkts_emitted > 0, "attackers must emit");
         assert!(run.bottleneck_tx_pkts > 0, "bottleneck must carry packets");
         assert!(run.events > run.bottleneck_tx_pkts);
+    }
+
+    /// The same miniature tree sharded 4 ways must dispatch the same
+    /// events and carry the same traffic as the single loop.
+    #[test]
+    fn miniature_tree_is_shard_invariant() {
+        let base = ScaleConfig {
+            hosts: 200,
+            attackers: 20,
+            active_users: 10,
+            mid_routers: 2,
+            leaf_routers_per_mid: 2,
+            sim_secs: 2,
+            ..ScaleConfig::full()
+        };
+        let a = run_scale(base);
+        let b = run_scale(ScaleConfig { shards: 4, ..base });
+        assert_eq!(b.shards, 4, "the tree must actually shard");
+        assert_eq!(a.events, b.events, "event counts diverged across shards");
+        assert_eq!(a.bottleneck_tx_pkts, b.bottleneck_tx_pkts);
+        assert_eq!(a.attack_pkts_emitted, b.attack_pkts_emitted);
     }
 }

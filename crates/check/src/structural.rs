@@ -62,6 +62,9 @@ impl StructuralAuditor {
         if let Err(e) = sim.audit_channels() {
             self.violation(sim, "queue-accounting", e);
         }
+        if let Err(e) = sim.audit_sharding() {
+            self.violation(sim, "shard-mailboxes", e);
+        }
         for n in 0..sim.node_count() {
             let Some(node) = sim.try_node::<TvaRouterNode>(NodeId(n)) else { continue };
             let router = &node.router;

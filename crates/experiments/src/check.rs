@@ -335,6 +335,9 @@ pub fn scenario_to_json(cfg: &ScenarioConfig) -> Value {
     if let Some(cap) = cfg.per_queue_cap_bytes {
         m.insert("per_queue_cap_bytes".into(), num(cap));
     }
+    if let Some(shards) = cfg.shards {
+        m.insert("shards".into(), num(shards as u64));
+    }
     Value::Object(m)
 }
 
@@ -374,6 +377,7 @@ pub fn scenario_from_json(v: &Value) -> Result<ScenarioConfig, String> {
         siff_accept_previous: get_bool(obj, "siff_accept_previous")?,
         deny_attackers: get_bool(obj, "deny_attackers")?,
         per_queue_cap_bytes: opt_u64(obj, "per_queue_cap_bytes"),
+        shards: opt_u64(obj, "shards").map(|v| v as usize),
     })
 }
 
@@ -611,6 +615,10 @@ pub fn random_config(seed: u64) -> (ScenarioConfig, FuzzExtras) {
         // admission must reject a flow's very first packet (the DRR
         // stub-key leak's trigger).
         per_queue_cap_bytes: chance(&mut rng, 25).then(|| pick(&mut rng, 256, 1800)),
+        // Half the runs shard the engine so the cross-shard mailboxes and
+        // the window scheduler sit under the same auditors as the single
+        // loop; any shard count must reproduce the unsharded run exactly.
+        shards: chance(&mut rng, 50).then(|| 1 << pick(&mut rng, 1, 4)),
     };
     let mut extras = FuzzExtras::default();
     if chance(&mut rng, 50) {

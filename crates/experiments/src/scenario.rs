@@ -134,6 +134,11 @@ pub struct ScenarioConfig {
     /// fuzzer explores them because that is where queue-admission bugs
     /// (e.g. the DRR stub-key leak) become reachable.
     pub per_queue_cap_bytes: Option<u64>,
+    /// Shard count for the simulation engine (`None` defers to the
+    /// `TVA_SHARDS` environment variable, whose default is 1). Results
+    /// must be identical for every value — the fuzzer varies it to prove
+    /// that.
+    pub shards: Option<usize>,
 }
 
 impl Default for ScenarioConfig {
@@ -158,6 +163,7 @@ impl Default for ScenarioConfig {
             siff_accept_previous: true,
             deny_attackers: false,
             per_queue_cap_bytes: None,
+            shards: None,
         }
     }
 }
@@ -652,7 +658,7 @@ impl<'a> Builder<'a> {
         // Attackers.
         self.add_attackers();
 
-        let mut sim = std::mem::take(&mut self.topo).build(cfg.seed);
+        let mut sim = std::mem::take(&mut self.topo).build_sharded(cfg.seed, cfg.shards);
 
         // Pushback routers need their managed egress registered and their
         // review loop kicked.

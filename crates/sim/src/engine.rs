@@ -1,10 +1,26 @@
-//! The simulation engine: channels, routing, and the event dispatch loop.
+//! The simulation engine: channels, routing, and the event dispatch loop —
+//! single event loop or sharded lookahead windows (DESIGN.md "Sharded
+//! engine").
+//!
+//! # Determinism across shard counts
+//!
+//! Every event carries a canonical `(time, ord)` key ([`crate::event`])
+//! that is a pure function of the causal history of one entity (channel,
+//! node, or the driver), never of global dispatch interleaving. All
+//! order-sensitive engine state is keyed the same way: RNG streams and
+//! packet ids are per node, fault streams are per channel. A shard
+//! therefore produces bit-identical events, traces, and statistics no
+//! matter what else runs beside it, and the windowed scheduler below can
+//! partition the topology arbitrarily without changing a single result.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::event::{ChannelId, EventKind, EventQueue, NodeId};
-use crate::fault::{self, Impairments, FAULT_STREAM};
+use crate::event::{
+    ord_driver, ord_key, ChannelId, EventKind, EventQueue, NodeId, CLASS_DELIVERY, CLASS_DRIVER,
+    CLASS_LINK, CLASS_TIMER, CLASS_TX, CLASS_WAKE,
+};
+use crate::fault::{self, ImpairState, Impairments};
 use crate::intern::AddrInterner;
 use crate::node::{Ctx, Node};
 use crate::pool::Pkt;
@@ -30,8 +46,9 @@ pub struct Channel {
     pub(crate) busy: bool,
     pub(crate) in_flight: Option<Pkt>,
     pub(crate) wake_at: Option<SimTime>,
-    /// Wire impairments; `None` (the default) costs one branch per packet.
-    pub(crate) impair: Option<Impairments>,
+    /// Wire impairments plus their private fault stream; `None` (the
+    /// default) costs one branch per packet.
+    pub(crate) impair: Option<Box<ImpairState>>,
     /// `false` while the link is failed: the channel loses everything
     /// offered to it and starts no new transmissions. Queued packets are
     /// retained (a router holding its output buffer) and resume on recovery.
@@ -39,6 +56,13 @@ pub struct Channel {
     /// Bumped on every failure so completions scheduled before the failure
     /// are recognized as stale (see `EventKind::TxComplete`).
     pub(crate) epoch: u64,
+    /// Canonical-order sequence for wire deliveries (arrivals/malformed)
+    /// leaving this channel; see [`crate::event::ord_key`].
+    pub(crate) delivery_seq: u32,
+    /// Canonical-order sequence for this channel's `TxComplete` events.
+    pub(crate) tx_seq: u32,
+    /// Canonical-order sequence for this channel's `ChannelWake` events.
+    pub(crate) wake_seq: u32,
     /// Counters.
     pub stats: ChannelStats,
 }
@@ -121,6 +145,22 @@ enum WireFate {
     Corrupt,
 }
 
+/// Decides what the wire does to a packet on an impaired channel.
+/// Outages are a pure function of time; loss and corruption draw from
+/// the channel's private fault stream.
+fn wire_fate(st: &mut ImpairState, now: SimTime) -> WireFate {
+    if st.cfg.outage.is_some_and(|o| o.is_down(now)) {
+        return WireFate::Lost;
+    }
+    if st.cfg.loss > 0.0 && fault::unit_f64(&mut st.rng) < st.cfg.loss {
+        return WireFate::Lost;
+    }
+    if st.cfg.corrupt > 0.0 && fault::unit_f64(&mut st.rng) < st.cfg.corrupt {
+        return WireFate::Corrupt;
+    }
+    WireFate::Deliver
+}
+
 /// Per-node routing state: a dense next-hop array indexed by interned
 /// address index, plus an optional default route. Entries matching the
 /// default route are pruned at build time, so stub hosts carry an empty
@@ -151,10 +191,68 @@ impl RouteTable {
     }
 }
 
+/// How the topology is partitioned across shards: each node belongs to one
+/// shard (contiguous id ranges, balanced by node count), each channel to
+/// the shard of its transmitting node, and the conservative lookahead
+/// horizon is the minimum propagation delay over cross-shard channels.
+pub(crate) struct ShardPlan {
+    pub shard_of_node: Vec<u32>,
+    /// Safe window length: an event at `t` can only schedule cross-shard
+    /// work at `t + lookahead` or later.
+    pub lookahead: SimDuration,
+    pub shards: usize,
+}
+
+impl ShardPlan {
+    /// The shard that must dispatch `kind`. Entity events go to their
+    /// owner; `LinkState` is global (`u32::MAX` sentinel — never stored in
+    /// a shard queue).
+    #[inline]
+    fn target_shard(&self, channels: &[Channel], kind: &EventKind) -> u32 {
+        match *kind {
+            EventKind::Arrival { node, .. }
+            | EventKind::Malformed { node, .. }
+            | EventKind::Timer { node, .. } => self.shard_of_node[node.0],
+            EventKind::TxComplete { channel, .. } | EventKind::ChannelWake { channel } => {
+                self.shard_of_node[channels[channel.0].from.0]
+            }
+            EventKind::LinkState { .. } => u32::MAX,
+        }
+    }
+}
+
 /// Engine state shared with nodes through [`Ctx`] during callbacks.
 pub(crate) struct Core {
     pub now: SimTime,
+    /// Shard 0's event queue — and the *only* queue when unsharded. An
+    /// inline field (not a `Vec` slot) so the single-loop hot path pays no
+    /// pointer chase or bounds check per operation.
     pub events: EventQueue,
+    /// Event queues for shards `1..S` (empty when unsharded).
+    pub shard_queues: Vec<EventQueue>,
+    /// Scheduled link-state events in sharded mode: they touch both ends of
+    /// a link and the global routing tables, so the window scheduler treats
+    /// them as barriers instead of shard events. Unused when `plan` is
+    /// `None` (link events then ride the single queue).
+    pub global_q: EventQueue,
+    pub plan: Option<ShardPlan>,
+    /// Shard whose window is currently executing.
+    cur_shard: u32,
+    /// True while inside a lookahead window: cross-shard pushes detour
+    /// through the outbox mailbox until the barrier.
+    in_window: bool,
+    /// Exclusive upper bound of the current window (for causality asserts).
+    window_end: SimTime,
+    /// Cross-shard events buffered during the current window as
+    /// `(target shard, time, ord, kind)`; drained at every barrier.
+    outbox: Vec<(u32, SimTime, u64, EventKind)>,
+    /// Mailbox conservation ledger: events routed into the outbox...
+    pub mailbox_sent: u64,
+    /// ...and events flushed out of it into shard queues. The two must be
+    /// equal at every barrier (audited by `TVA_CHECK`).
+    pub mailbox_delivered: u64,
+    /// Lookahead windows executed (diagnostics).
+    pub windows_run: u64,
     pub channels: Vec<Channel>,
     pub routes: Vec<RouteTable>,
     /// Destination-address index assigned at topology build.
@@ -171,25 +269,42 @@ pub(crate) struct Core {
     pub statics: Vec<(NodeId, Addr, ChannelId)>,
     /// Times the dense next-hop tables have been recomputed at runtime.
     pub reconvergences: u64,
-    pub rng: SmallRng,
-    /// Dedicated impairment stream: seeded as a fixed function of the
-    /// simulation seed but advanced only by loss/corruption draws on
-    /// impaired channels, so faults never perturb `rng` (the stream nodes
-    /// observe) and a zero-impairment run is bit-identical to the seed run.
-    pub fault_rng: SmallRng,
-    pub next_packet_id: u64,
+    /// The simulation seed, retained to key per-entity RNG streams created
+    /// after build (runtime `set_impairments`).
+    pub seed: u64,
+    /// Per-node RNG streams (pure functions of `(seed, node)`), so the
+    /// randomness a node observes is independent of dispatch interleaving.
+    pub rngs: Vec<SmallRng>,
+    /// Per-node packet-id counters; ids are `(node << 40) | counter`.
+    pub packet_seqs: Vec<u64>,
+    /// Per-node canonical-order sequences for timer events.
+    pub timer_seqs: Vec<u32>,
+    /// Sequence for driver-injected events (kicks, injections, scheduled
+    /// link faults) — driver calls happen in program order, which is the
+    /// same for every shard count.
+    pub driver_seq: u64,
     /// Packets discarded because a node had no route.
     pub unrouted: u64,
     /// Events dispatched by [`Simulator::run_until`] over the simulation's
     /// lifetime — the denominator of the engine throughput benchmark.
     pub events_dispatched: u64,
     pub tracer: Option<Tracer>,
+    /// Trace events buffered during a sharded window as `(dispatch ord,
+    /// emission index within the dispatch, event)`; sorted into canonical
+    /// `(time, ord, sub)` order and emitted at the barrier.
+    trace_buf: Vec<(u64, u32, TraceEvent)>,
+    /// Ordering key of the event currently being dispatched.
+    cur_ord: u64,
+    /// Trace emissions so far within the current dispatch.
+    trace_sub: u32,
 }
 
 impl Core {
     /// Emits a trace event from fields the caller copied out *before* the
     /// packet's ownership moved (into a queue or onto the wire) — no
-    /// packet clone on the trace path.
+    /// packet clone on the trace path. Inside a sharded window the event is
+    /// buffered and merged at the barrier so observers always see the
+    /// canonical global order.
     #[inline]
     fn trace_fields(
         &mut self,
@@ -200,9 +315,106 @@ impl Core {
         dst: Addr,
         wire_len: u32,
     ) {
-        if let Some(t) = self.tracer.as_mut() {
-            t(&TraceEvent { time: self.now, kind, channel: ch, id, src, dst, wire_len });
+        if self.tracer.is_none() {
+            return;
         }
+        let ev = TraceEvent { time: self.now, kind, channel: ch, id, src, dst, wire_len };
+        if self.in_window {
+            let sub = self.trace_sub;
+            self.trace_sub += 1;
+            self.trace_buf.push((self.cur_ord, sub, ev));
+        } else if let Some(t) = self.tracer.as_mut() {
+            t(&ev);
+        }
+    }
+
+    /// Sorts the window's buffered trace events into canonical order and
+    /// feeds them to the tracer. Keys are unique — `(dispatch ord, sub)`
+    /// never repeats — so the order is total.
+    fn flush_traces(&mut self) {
+        if self.trace_buf.is_empty() {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.trace_buf);
+        buf.sort_unstable_by_key(|&(ord, sub, ref ev)| (ev.time, ord, sub));
+        if let Some(t) = self.tracer.as_mut() {
+            for (_, _, ev) in &buf {
+                t(ev);
+            }
+        }
+        buf.clear();
+        self.trace_buf = buf;
+    }
+
+    /// The queue owned by shard `s`.
+    #[inline]
+    fn queue_mut(&mut self, s: usize) -> &mut EventQueue {
+        if s == 0 {
+            &mut self.events
+        } else {
+            &mut self.shard_queues[s - 1]
+        }
+    }
+
+    /// Routes an event to the queue that owns it. Inside a window,
+    /// cross-shard events detour through the outbox mailbox (they are
+    /// causally guaranteed to land at or beyond the window's end).
+    #[inline]
+    fn push_event(&mut self, time: SimTime, ord: u64, kind: EventKind) {
+        let target = match &self.plan {
+            // Unsharded: everything rides the inline queue, no routing.
+            None => {
+                self.events.push(time, ord, kind);
+                return;
+            }
+            Some(plan) => plan.target_shard(&self.channels, &kind) as usize,
+        };
+        debug_assert!(target != u32::MAX as usize, "link events use push_link_event");
+        if self.in_window && target != self.cur_shard as usize {
+            debug_assert!(
+                time >= self.window_end,
+                "cross-shard event inside the lookahead window"
+            );
+            self.mailbox_sent += 1;
+            self.outbox.push((target as u32, time, ord, kind));
+        } else {
+            self.queue_mut(target).push(time, ord, kind);
+        }
+    }
+
+    /// Queues a scheduled link-state event: on the single queue when
+    /// unsharded, on the global barrier queue when sharded.
+    fn push_link_event(&mut self, time: SimTime, ord: u64, kind: EventKind) {
+        if self.plan.is_some() {
+            self.global_q.push(time, ord, kind);
+        } else {
+            self.events.push(time, ord, kind);
+        }
+    }
+
+    /// Drains the outbox into the owning shard queues (the window barrier).
+    fn flush_mailboxes(&mut self) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let mut ob = std::mem::take(&mut self.outbox);
+        self.mailbox_delivered += ob.len() as u64;
+        for (target, time, ord, kind) in ob.drain(..) {
+            self.queue_mut(target as usize).push(time, ord, kind);
+        }
+        self.outbox = ob;
+    }
+
+    /// Iterates all event queues (shard 0 first, then shards `1..S`).
+    fn all_queues(&self) -> impl Iterator<Item = &EventQueue> {
+        std::iter::once(&self.events).chain(self.shard_queues.iter())
+    }
+
+    /// Allocates the next driver-event ordering key.
+    fn next_driver_ord(&mut self, class: u64) -> u64 {
+        let seq = self.driver_seq;
+        self.driver_seq += 1;
+        ord_driver(class, seq)
     }
 
     /// Installs every static route into the dense next-hop tables. Runs at
@@ -223,6 +435,15 @@ impl Core {
 impl Core {
     /// Offers a packet to a channel's queue and kicks the transmitter.
     fn offer(&mut self, ch: ChannelId, mut pkt: Pkt) -> bool {
+        #[cfg(debug_assertions)]
+        if self.in_window {
+            let plan = self.plan.as_ref().expect("in_window implies a plan");
+            debug_assert_eq!(
+                plan.shard_of_node[self.channels[ch.0].from.0],
+                self.cur_shard,
+                "a node may only offer packets to its own shard's egress channels"
+            );
+        }
         pkt.enqueued_at = self.now;
         // Copy the identifying fields out first: the packet moves into the
         // queue before the trace event is emitted.
@@ -271,7 +492,9 @@ impl Core {
                 c.in_flight = Some(pkt);
                 c.wake_at = None;
                 let epoch = c.epoch;
-                self.events.push(now + tx, EventKind::TxComplete { channel: ch, epoch });
+                let ord = ord_key(CLASS_TX, ch.0 as u64, c.tx_seq as u64);
+                c.tx_seq += 1;
+                self.push_event(now + tx, ord, EventKind::TxComplete { channel: ch, epoch });
                 self.trace_fields(TraceKind::TxStart, ch, id, src, dst, wire_len);
             }
             None => {
@@ -281,7 +504,9 @@ impl Core {
                     let t = t.max(now);
                     if c.wake_at.is_none_or(|w| t < w) {
                         c.wake_at = Some(t);
-                        self.events.push(t, EventKind::ChannelWake { channel: ch });
+                        let ord = ord_key(CLASS_WAKE, ch.0 as u64, c.wake_seq as u64);
+                        c.wake_seq += 1;
+                        self.push_event(t, ord, EventKind::ChannelWake { channel: ch });
                     }
                 }
             }
@@ -289,6 +514,7 @@ impl Core {
     }
 
     fn on_tx_complete(&mut self, ch: ChannelId, epoch: u64) {
+        let now = self.now;
         let c = &mut self.channels[ch.0];
         if c.epoch != epoch {
             // Stale completion scheduled before a link failure; the failure
@@ -297,16 +523,20 @@ impl Core {
         }
         let pkt = c.in_flight.take().expect("TxComplete without packet in flight");
         c.busy = false;
-        let arrival = self.now + c.delay;
+        let arrival = now + c.delay;
         let node = c.to;
-        let impair = c.impair;
-        let fate = match impair {
+        let fate = match c.impair.as_deref_mut() {
             None => WireFate::Deliver,
-            Some(imp) => self.wire_fate(&imp),
+            Some(st) => wire_fate(st, now),
         };
+        // Every serialized packet consumes one delivery-sequence slot, even
+        // when the wire loses it — the key stays a pure function of this
+        // channel's own transmission history.
+        let ord = ord_key(CLASS_DELIVERY, ch.0 as u64, c.delivery_seq as u64);
+        c.delivery_seq += 1;
         match fate {
             WireFate::Deliver => {
-                self.events.push(arrival, EventKind::Arrival { node, from: ch, packet: pkt });
+                self.push_event(arrival, ord, EventKind::Arrival { node, from: ch, packet: pkt });
             }
             WireFate::Lost => {
                 let (id, src, dst) = (pkt.id, pkt.src, pkt.dst);
@@ -324,7 +554,11 @@ impl Core {
                 // Real corruption: flip bits in the actual on-wire encoding
                 // and let the codec decide what survives.
                 let mut bytes = tva_wire::encode_packet(&pkt);
-                fault::corrupt_bytes(&mut bytes, &mut self.fault_rng);
+                let st = self.channels[ch.0]
+                    .impair
+                    .as_deref_mut()
+                    .expect("corrupt fate implies impair state");
+                fault::corrupt_bytes(&mut bytes, &mut st.rng);
                 match tva_wire::decode_packet(&bytes) {
                     Ok(decoded) => {
                         // Reuse the packet's own storage for the decoded
@@ -335,15 +569,17 @@ impl Core {
                         let mut pkt = pkt;
                         *pkt = decoded;
                         pkt.id = id;
-                        self.events.push(
+                        self.push_event(
                             arrival,
+                            ord,
                             EventKind::Arrival { node, from: ch, packet: pkt },
                         );
                     }
                     Err(error) => {
                         self.channels[ch.0].stats.malformed_pkts += 1;
-                        self.events.push(
+                        self.push_event(
                             arrival,
+                            ord,
                             EventKind::Malformed { node, from: ch, error, wire_len },
                         );
                     }
@@ -351,22 +587,6 @@ impl Core {
             }
         }
         self.try_start(ch);
-    }
-
-    /// Decides what the wire does to a packet on an impaired channel.
-    /// Outages are a pure function of time; loss and corruption draw from
-    /// the dedicated fault stream.
-    fn wire_fate(&mut self, imp: &Impairments) -> WireFate {
-        if imp.outage.is_some_and(|o| o.is_down(self.now)) {
-            return WireFate::Lost;
-        }
-        if imp.loss > 0.0 && fault::unit_f64(&mut self.fault_rng) < imp.loss {
-            return WireFate::Lost;
-        }
-        if imp.corrupt > 0.0 && fault::unit_f64(&mut self.fault_rng) < imp.corrupt {
-            return WireFate::Corrupt;
-        }
-        WireFate::Deliver
     }
 
     /// Fails or restores one channel; returns whether the state changed.
@@ -435,7 +655,11 @@ impl Ctx for EngineCtx<'_> {
 
     fn set_timer(&mut self, delay: SimDuration, token: u64) {
         let t = self.core.now + delay;
-        self.core.events.push(t, EventKind::Timer { node: self.node, token });
+        let n = self.node.0;
+        let seq = self.core.timer_seqs[n];
+        self.core.timer_seqs[n] = seq + 1;
+        let ord = ord_key(CLASS_TIMER, n as u64, seq as u64);
+        self.core.push_event(t, ord, EventKind::Timer { node: self.node, token });
     }
 
     fn route(&self, dst: Addr) -> Option<ChannelId> {
@@ -447,13 +671,15 @@ impl Ctx for EngineCtx<'_> {
     }
 
     fn alloc_packet_id(&mut self) -> PacketId {
-        let id = PacketId(self.core.next_packet_id);
-        self.core.next_packet_id += 1;
-        id
+        let n = self.node.0;
+        let seq = self.core.packet_seqs[n];
+        self.core.packet_seqs[n] = seq + 1;
+        debug_assert!(n < (1 << 24) && seq < (1 << 40), "packet id space exhausted");
+        PacketId(((n as u64) << 40) | seq)
     }
 
     fn rng(&mut self) -> &mut dyn rand::RngCore {
-        &mut self.core.rng
+        &mut self.core.rngs[self.node.0]
     }
 }
 
@@ -477,11 +703,24 @@ impl Simulator {
         defaults: Vec<(NodeId, ChannelId)>,
         statics: Vec<(NodeId, Addr, ChannelId)>,
         seed: u64,
+        plan: Option<ShardPlan>,
     ) -> Self {
+        let n = nodes.len();
+        let n_extra = plan.as_ref().map_or(0, |p| p.shards - 1);
         let mut sim = Simulator {
             core: Core {
                 now: SimTime::ZERO,
                 events: EventQueue::new(),
+                shard_queues: (0..n_extra).map(|_| EventQueue::new()).collect(),
+                global_q: EventQueue::new(),
+                plan,
+                cur_shard: 0,
+                in_window: false,
+                window_end: SimTime::ZERO,
+                outbox: Vec::new(),
+                mailbox_sent: 0,
+                mailbox_delivered: 0,
+                windows_run: 0,
                 channels,
                 routes,
                 interner,
@@ -489,15 +728,31 @@ impl Simulator {
                 defaults,
                 statics,
                 reconvergences: 0,
-                rng: SmallRng::seed_from_u64(seed),
-                fault_rng: SmallRng::seed_from_u64(seed ^ FAULT_STREAM),
-                next_packet_id: 0,
+                seed,
+                rngs: (0..n)
+                    .map(|i| {
+                        SmallRng::seed_from_u64(fault::mix64(seed ^ fault::mix64(i as u64)))
+                    })
+                    .collect(),
+                packet_seqs: vec![0; n],
+                timer_seqs: vec![0; n],
+                driver_seq: 0,
                 unrouted: 0,
                 events_dispatched: 0,
                 tracer: None,
+                trace_buf: Vec::new(),
+                cur_ord: 0,
+                trace_sub: 0,
             },
             nodes,
         };
+        // Re-key impairments configured on the builder (which had no seed)
+        // to their canonical per-channel streams.
+        for (i, c) in sim.core.channels.iter_mut().enumerate() {
+            if let Some(st) = c.impair.as_deref_mut() {
+                *st = ImpairState::new(st.cfg, seed, i);
+            }
+        }
         sim.core.apply_static_routes();
         sim
     }
@@ -507,74 +762,149 @@ impl Simulator {
         self.core.now
     }
 
-    /// Runs until the event queue drains or `limit` is reached, whichever is
-    /// first. The clock ends at exactly `limit` if events remained.
+    /// Runs until the event queues drain or `limit` is reached, whichever
+    /// is first. The clock ends at exactly `limit` if events remained.
     pub fn run_until(&mut self, limit: SimTime) {
+        if self.core.plan.is_none() {
+            self.run_single(limit);
+        } else {
+            self.run_windows(limit);
+        }
+        self.core.now = limit;
+    }
+
+    /// The classic single event loop (one queue, inline tracing).
+    fn run_single(&mut self, limit: SimTime) {
         while let Some(t) = self.core.events.peek_time() {
             if t > limit {
                 break;
             }
             let ev = self.core.events.pop().expect("peeked event exists");
-            self.core.now = ev.time;
-            self.core.events_dispatched += 1;
-            match ev.kind {
-                EventKind::Arrival { node, from, packet } => {
-                    if self.core.tracer.is_some() {
-                        let (id, src, dst) = (packet.id, packet.src, packet.dst);
-                        let wire_len = packet.wire_len();
-                        self.core.trace_fields(
-                            crate::trace::TraceKind::Delivered,
-                            from,
-                            id,
-                            src,
-                            dst,
-                            wire_len,
-                        );
+            self.dispatch(ev.time, ev.ord, ev.kind);
+        }
+    }
+
+    /// The sharded scheduler: repeatedly runs every shard through a
+    /// conservative lookahead window `[start, end)`, then flushes the
+    /// cross-shard mailboxes and merges buffered traces (the barrier).
+    /// `end - start` never exceeds the minimum cross-shard link delay, so
+    /// anything a shard does inside the window can only schedule work on
+    /// another shard at or beyond `end` — each shard can safely run the
+    /// whole window without observing its peers.
+    fn run_windows(&mut self, limit: SimTime) {
+        let (lookahead, shards) = {
+            let p = self.core.plan.as_ref().expect("run_windows requires a plan");
+            (p.lookahead.as_nanos().max(1), p.shards)
+        };
+        // Exclusive bound: events exactly at `limit` still run.
+        let hard_end = limit.as_nanos().saturating_add(1);
+        loop {
+            let mut start = u64::MAX;
+            for q in self.core.all_queues() {
+                if let Some(t) = q.peek_time() {
+                    start = start.min(t.as_nanos());
+                }
+            }
+            let global_at = self.core.global_q.peek_time().map(|t| t.as_nanos());
+            // A scheduled link-state change due at or before every shard
+            // event applies globally first; canonical class order puts it
+            // ahead of anything else at its timestamp.
+            if let Some(g) = global_at {
+                if g < hard_end && g <= start {
+                    while let Some((t, _)) = self.core.global_q.peek_key() {
+                        if t.as_nanos() != g {
+                            break;
+                        }
+                        let ev = self.core.global_q.pop().expect("peeked event exists");
+                        self.dispatch(ev.time, ev.ord, ev.kind);
                     }
-                    let mut ctx = EngineCtx { core: &mut self.core, node };
-                    self.nodes[node.0].on_packet(packet, from, &mut ctx);
+                    continue;
                 }
-                EventKind::Timer { node, token } => {
-                    let mut ctx = EngineCtx { core: &mut self.core, node };
-                    self.nodes[node.0].on_timer(token, &mut ctx);
-                }
-                EventKind::TxComplete { channel, epoch } => {
-                    self.core.on_tx_complete(channel, epoch)
-                }
-                EventKind::ChannelWake { channel } => self.core.on_wake(channel),
-                EventKind::Malformed { node, from, error, wire_len: _ } => {
-                    let mut ctx = EngineCtx { core: &mut self.core, node };
-                    self.nodes[node.0].on_malformed(error, from, &mut ctx);
-                }
-                EventKind::LinkState { ab, ba, up } => {
-                    let a = self.core.set_channel_up(ab, up);
-                    let b = self.core.set_channel_up(ba, up);
-                    if a || b {
-                        self.reconverge();
+            }
+            if start >= hard_end {
+                break;
+            }
+            let mut end = start.saturating_add(lookahead).min(hard_end);
+            if let Some(g) = global_at {
+                end = end.min(g);
+            }
+            self.core.window_end = SimTime::from_nanos(end);
+            self.core.windows_run += 1;
+            for s in 0..shards {
+                self.core.cur_shard = s as u32;
+                self.core.in_window = true;
+                while let Some(t) = self.core.queue_mut(s).peek_time() {
+                    if t.as_nanos() >= end {
+                        break;
                     }
+                    let ev = self.core.queue_mut(s).pop().expect("peeked event exists");
+                    self.dispatch(ev.time, ev.ord, ev.kind);
+                }
+            }
+            self.core.in_window = false;
+            self.core.flush_mailboxes();
+            self.core.flush_traces();
+        }
+    }
+
+    /// Dispatches one event (shared by both schedulers).
+    #[inline]
+    fn dispatch(&mut self, time: SimTime, ord: u64, kind: EventKind) {
+        self.core.now = time;
+        self.core.cur_ord = ord;
+        self.core.trace_sub = 0;
+        self.core.events_dispatched += 1;
+        match kind {
+            EventKind::Arrival { node, from, packet } => {
+                if self.core.tracer.is_some() {
+                    let (id, src, dst) = (packet.id, packet.src, packet.dst);
+                    let wire_len = packet.wire_len();
+                    self.core.trace_fields(TraceKind::Delivered, from, id, src, dst, wire_len);
+                }
+                let mut ctx = EngineCtx { core: &mut self.core, node };
+                self.nodes[node.0].on_packet(packet, from, &mut ctx);
+            }
+            EventKind::Timer { node, token } => {
+                let mut ctx = EngineCtx { core: &mut self.core, node };
+                self.nodes[node.0].on_timer(token, &mut ctx);
+            }
+            EventKind::TxComplete { channel, epoch } => self.core.on_tx_complete(channel, epoch),
+            EventKind::ChannelWake { channel } => self.core.on_wake(channel),
+            EventKind::Malformed { node, from, error, wire_len: _ } => {
+                let mut ctx = EngineCtx { core: &mut self.core, node };
+                self.nodes[node.0].on_malformed(error, from, &mut ctx);
+            }
+            EventKind::LinkState { ab, ba, up } => {
+                let a = self.core.set_channel_up(ab, up);
+                let b = self.core.set_channel_up(ba, up);
+                if a || b {
+                    self.reconverge();
                 }
             }
         }
-        self.core.now = limit;
     }
 
     /// Delivers a synthetic timer event to `node` at the current time; the
     /// standard way to kick off node activity at t=0.
     pub fn kick(&mut self, node: NodeId, token: u64) {
-        self.core.events.push(self.core.now, EventKind::Timer { node, token });
+        let ord = self.core.next_driver_ord(CLASS_DRIVER);
+        self.core.push_event(self.core.now, ord, EventKind::Timer { node, token });
     }
 
     /// Delivers a synthetic timer event to `node` at an absolute time (must
     /// not be in the past).
     pub fn kick_at(&mut self, node: NodeId, token: u64, at: SimTime) {
         assert!(at >= self.core.now, "kick_at in the past");
-        self.core.events.push(at, EventKind::Timer { node, token });
+        let ord = self.core.next_driver_ord(CLASS_DRIVER);
+        self.core.push_event(at, ord, EventKind::Timer { node, token });
     }
 
     /// Injects a packet as if it arrived at `node` (for tests).
     pub fn inject(&mut self, node: NodeId, from: ChannelId, packet: Packet) {
-        self.core.events.push(
+        let ord = self.core.next_driver_ord(CLASS_DRIVER);
+        self.core.push_event(
             self.core.now,
+            ord,
             EventKind::Arrival { node, from, packet: Pkt::new(packet) },
         );
     }
@@ -586,17 +916,26 @@ impl Simulator {
     pub fn inject_bytes(&mut self, node: NodeId, from: ChannelId, bytes: &[u8]) {
         match tva_wire::decode_packet(bytes) {
             Ok(packet) => self.inject(node, from, packet),
-            Err(error) => self.core.events.push(
-                self.core.now,
-                EventKind::Malformed { node, from, error, wire_len: bytes.len() as u32 },
-            ),
+            Err(error) => {
+                let ord = self.core.next_driver_ord(CLASS_DRIVER);
+                self.core.push_event(
+                    self.core.now,
+                    ord,
+                    EventKind::Malformed { node, from, error, wire_len: bytes.len() as u32 },
+                );
+            }
         }
     }
 
     /// Sets (or clears, when `imp.is_noop()`) one channel's impairments.
     /// Channels without impairments pay a single branch per packet.
     pub fn set_impairments(&mut self, ch: ChannelId, imp: Impairments) {
-        self.core.channels[ch.0].impair = if imp.is_noop() { None } else { Some(imp) };
+        let seed = self.core.seed;
+        self.core.channels[ch.0].impair = if imp.is_noop() {
+            None
+        } else {
+            Some(Box::new(ImpairState::new(imp, seed, ch.0)))
+        };
     }
 
     /// Applies the same impairments to both directions of a link.
@@ -631,13 +970,15 @@ impl Simulator {
     /// failures interleave deterministically with traffic).
     pub fn schedule_link_down(&mut self, l: LinkHandle, at: SimTime) {
         assert!(at >= self.core.now, "schedule_link_down in the past");
-        self.core.events.push(at, EventKind::LinkState { ab: l.ab, ba: l.ba, up: false });
+        let ord = self.core.next_driver_ord(CLASS_LINK);
+        self.core.push_link_event(at, ord, EventKind::LinkState { ab: l.ab, ba: l.ba, up: false });
     }
 
     /// Schedules both directions of `l` to recover at `at`.
     pub fn schedule_link_up(&mut self, l: LinkHandle, at: SimTime) {
         assert!(at >= self.core.now, "schedule_link_up in the past");
-        self.core.events.push(at, EventKind::LinkState { ab: l.ab, ba: l.ba, up: true });
+        let ord = self.core.next_driver_ord(CLASS_LINK);
+        self.core.push_link_event(at, ord, EventKind::LinkState { ab: l.ab, ba: l.ba, up: true });
     }
 
     /// Recomputes every node's dense next-hop table from the retained
@@ -682,11 +1023,14 @@ impl Simulator {
 
     /// Per-channel count of packets inside pending `Arrival` events —
     /// transmitted, propagating, not yet delivered to the receiving node.
-    /// Cold path: one pass over the event slab, used by the packet-
+    /// Cold path: one pass over every event slab (all shard queues, the
+    /// global queue, and the mailbox outbox), used by the packet-
     /// conservation auditor.
     pub fn pending_arrivals_by_channel(&self) -> Vec<u64> {
         let mut counts = vec![0u64; self.core.channels.len()];
-        for kind in self.core.events.iter_kinds() {
+        let queued = self.core.all_queues().flat_map(|q| q.iter_kinds());
+        let boxed = self.core.outbox.iter().map(|(_, _, _, k)| k);
+        for kind in queued.chain(self.core.global_q.iter_kinds()).chain(boxed) {
             if let EventKind::Arrival { from, .. } = kind {
                 counts[from.0] += 1;
             }
@@ -701,6 +1045,74 @@ impl Simulator {
             c.audit().map_err(|e| format!("channel {i} ({:?}->{:?}): {e}", c.from, c.to))?;
         }
         Ok(())
+    }
+
+    /// Audits the sharding machinery (cold path, `TVA_CHECK` auditors):
+    /// mailboxes must be empty between windows with a balanced
+    /// sent/delivered ledger, and every queued entity event must sit in the
+    /// queue of the shard that owns it.
+    pub fn audit_sharding(&self) -> Result<(), String> {
+        if !self.core.outbox.is_empty() {
+            return Err(format!(
+                "shard mailbox not flushed: {} events still boxed",
+                self.core.outbox.len()
+            ));
+        }
+        if self.core.mailbox_sent != self.core.mailbox_delivered {
+            return Err(format!(
+                "shard mailbox ledger: {} sent != {} delivered",
+                self.core.mailbox_sent, self.core.mailbox_delivered
+            ));
+        }
+        let Some(plan) = &self.core.plan else { return Ok(()) };
+        if plan.shard_of_node.len() != self.nodes.len() {
+            return Err("shard plan does not cover every node".into());
+        }
+        if self.core.shard_queues.len() + 1 != plan.shards {
+            return Err(format!(
+                "plan has {} shards but {} queues exist",
+                plan.shards,
+                self.core.shard_queues.len() + 1
+            ));
+        }
+        for (s, q) in self.core.all_queues().enumerate() {
+            for kind in q.iter_kinds() {
+                let owner = plan.target_shard(&self.core.channels, kind);
+                if owner as usize != s {
+                    return Err(format!(
+                        "event owned by shard {owner} queued on shard {s}: {kind:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of shards the event loop is partitioned into (1 = classic
+    /// single loop).
+    pub fn shard_count(&self) -> usize {
+        self.core.plan.as_ref().map_or(1, |p| p.shards)
+    }
+
+    /// The conservative lookahead horizon, when sharded.
+    pub fn shard_lookahead(&self) -> Option<SimDuration> {
+        self.core.plan.as_ref().map(|p| p.lookahead)
+    }
+
+    /// The shard owning `node` (0 when unsharded).
+    pub fn shard_of_node(&self, node: NodeId) -> usize {
+        self.core.plan.as_ref().map_or(0, |p| p.shard_of_node[node.0] as usize)
+    }
+
+    /// Lookahead windows executed so far (0 when unsharded).
+    pub fn shard_windows(&self) -> u64 {
+        self.core.windows_run
+    }
+
+    /// Cross-shard mailbox ledger: `(events sent into mailboxes, events
+    /// delivered out of them)`. Equal between windows.
+    pub fn mailbox_stats(&self) -> (u64, u64) {
+        (self.core.mailbox_sent, self.core.mailbox_delivered)
     }
 
     /// Mutable access to a node, downcast to its concrete type.
@@ -737,7 +1149,8 @@ impl Simulator {
 
     /// Number of pending events (diagnostics).
     pub fn pending_events(&self) -> usize {
-        self.core.events.len()
+        let queued: usize = self.core.all_queues().map(|q| q.len()).sum();
+        queued + self.core.global_q.len() + self.core.outbox.len()
     }
 
     /// Total events dispatched by [`Simulator::run_until`] so far — the

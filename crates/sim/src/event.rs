@@ -1,12 +1,17 @@
 //! The event queue: a 4-ary implicit min-heap over a payload slab, with a
-//! stable tiebreak.
+//! canonical, shard-invariant tiebreak.
 //!
-//! Events at equal times fire in insertion order (a monotonic sequence number
-//! breaks ties), which makes every simulation fully deterministic for a given
-//! seed — invariant 6 of DESIGN.md. The total order is exactly `(time, seq)`
-//! ascending, nothing else; see DESIGN.md "Hot path".
+//! Events at equal times fire in **canonical order**: a 64-bit `ord` key
+//! packed from the event's class, the entity it belongs to (channel or
+//! node), and a per-entity sequence number. Unlike a global insertion
+//! counter, this key is a pure function of the causal history of one
+//! entity, so it comes out identical no matter how the topology is
+//! partitioned across shards — the property that lets the sharded engine
+//! (DESIGN.md "Sharded engine") merge cross-shard mailboxes and still
+//! dispatch in exactly the order a single event loop would. The total
+//! order is `(time, ord)` ascending, nothing else.
 //!
-//! Layout: the heap itself holds only 24-byte `(time, seq, slot)` entries;
+//! Layout: the heap itself holds only 24-byte `(time, ord, slot)` entries;
 //! the [`EventKind`] payloads (which embed whole packets) live in a slab
 //! indexed by `slot` and never move while queued. That beats
 //! `std::collections::BinaryHeap<Event>` two ways: sift operations copy
@@ -26,6 +31,42 @@ pub struct NodeId(pub usize);
 /// Identifies a unidirectional channel (one direction of a link).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct ChannelId(pub usize);
+
+// Event classes, most-urgent first at equal times. Link state changes fire
+// before everything else (so a failure at `t` governs packets moving at
+// `t`), then driver-injected events (kicks, injections), then the wire and
+// timer classes. Classes 2–5 carry an entity id and a per-entity sequence.
+pub(crate) const CLASS_LINK: u64 = 0;
+pub(crate) const CLASS_DRIVER: u64 = 1;
+pub(crate) const CLASS_DELIVERY: u64 = 2;
+pub(crate) const CLASS_TX: u64 = 3;
+pub(crate) const CLASS_WAKE: u64 = 4;
+pub(crate) const CLASS_TIMER: u64 = 5;
+
+const ORD_CLASS_SHIFT: u32 = 61;
+const ORD_ENTITY_SHIFT: u32 = 29;
+/// Per-entity sequence numbers get 29 bits (~536M events per channel or
+/// node — far beyond any run this engine hosts, and overflow is caught).
+pub(crate) const ORD_SEQ_LIMIT: u64 = 1 << ORD_ENTITY_SHIFT;
+
+/// Packs the canonical ordering key for an entity-owned event. The key
+/// compares as `(class, entity, seq)`; entities (channel or node ids) get
+/// 32 bits, sequences 29. Overflow would silently corrupt dispatch order —
+/// and with it determinism — so it panics instead.
+#[inline]
+pub(crate) fn ord_key(class: u64, entity: u64, seq: u64) -> u64 {
+    debug_assert!(entity < (1 << 32), "entity id {entity} exceeds 32 bits");
+    assert!(seq < ORD_SEQ_LIMIT, "per-entity event sequence overflow");
+    (class << ORD_CLASS_SHIFT) | (entity << ORD_ENTITY_SHIFT) | seq
+}
+
+/// Packs the ordering key for a driver-injected event (classes without an
+/// entity): the whole low 61 bits carry the driver's sequence counter.
+#[inline]
+pub(crate) fn ord_driver(class: u64, seq: u64) -> u64 {
+    assert!(seq < (1 << ORD_CLASS_SHIFT), "driver event sequence overflow");
+    (class << ORD_CLASS_SHIFT) | seq
+}
 
 /// What happens when an event fires.
 #[derive(Debug)]
@@ -88,6 +129,7 @@ pub enum EventKind {
 
 pub(crate) struct Event {
     pub time: SimTime,
+    pub ord: u64,
     pub kind: EventKind,
 }
 
@@ -95,15 +137,15 @@ pub(crate) struct Event {
 #[derive(Clone, Copy)]
 struct Entry {
     time: SimTime,
-    seq: u64,
+    ord: u64,
     slot: u32,
 }
 
 impl Entry {
-    /// The heap key: earliest time first, insertion order within a time.
+    /// The heap key: earliest time first, canonical order within a time.
     #[inline]
     fn key(&self) -> (SimTime, u64) {
-        (self.time, self.seq)
+        (self.time, self.ord)
     }
 }
 
@@ -118,7 +160,6 @@ pub(crate) struct EventQueue {
     /// Payload slab; `None` slots are on the free list.
     kinds: Vec<Option<EventKind>>,
     free: Vec<u32>,
-    next_seq: u64,
 }
 
 impl EventQueue {
@@ -126,9 +167,7 @@ impl EventQueue {
         Self::default()
     }
 
-    pub fn push(&mut self, time: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
+    pub fn push(&mut self, time: SimTime, ord: u64, kind: EventKind) {
         let slot = match self.free.pop() {
             Some(s) => {
                 self.kinds[s as usize] = Some(kind);
@@ -139,7 +178,7 @@ impl EventQueue {
                 (self.kinds.len() - 1) as u32
             }
         };
-        self.heap.push(Entry { time, seq, slot });
+        self.heap.push(Entry { time, ord, slot });
         self.sift_up(self.heap.len() - 1);
     }
 
@@ -152,12 +191,17 @@ impl EventQueue {
         }
         let kind = self.kinds[top.slot as usize].take().expect("queued slot is occupied");
         self.free.push(top.slot);
-        Some(Event { time: top.time, kind })
+        Some(Event { time: top.time, ord: top.ord, kind })
     }
 
     /// Time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.first().map(|e| e.time)
+    }
+
+    /// Full `(time, ord)` key of the earliest pending event, if any.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.first().map(|e| e.key())
     }
 
     pub fn len(&self) -> usize {
@@ -232,20 +276,37 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(3), timer(0, 3));
-        q.push(SimTime::from_secs(1), timer(0, 1));
-        q.push(SimTime::from_secs(2), timer(0, 2));
+        q.push(SimTime::from_secs(3), 0, timer(0, 3));
+        q.push(SimTime::from_secs(1), 1, timer(0, 1));
+        q.push(SimTime::from_secs(2), 2, timer(0, 2));
         assert_eq!(drain_tokens(&mut q), vec![1, 2, 3]);
     }
 
     #[test]
-    fn equal_times_fire_in_insertion_order() {
+    fn equal_times_fire_in_ord_order() {
         let mut q = EventQueue::new();
         let t = SimTime::from_secs(1);
-        for i in 0..100 {
-            q.push(t, timer(0, i));
+        // Push in descending ord; pops must come back ascending.
+        for i in (0..100).rev() {
+            q.push(t, i, timer(0, i));
         }
         assert_eq!(drain_tokens(&mut q), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ord_key_orders_class_entity_seq() {
+        // Class dominates entity, entity dominates sequence.
+        assert!(ord_key(CLASS_LINK, 9, 9) < ord_key(CLASS_DRIVER, 0, 0));
+        assert!(ord_key(CLASS_DELIVERY, 0, 9) < ord_key(CLASS_DELIVERY, 1, 0));
+        assert!(ord_key(CLASS_TX, 3, 1) < ord_key(CLASS_TX, 3, 2));
+        assert!(ord_driver(CLASS_DRIVER, 5) < ord_driver(CLASS_DRIVER, 6));
+        assert!(ord_driver(CLASS_LINK, u64::MAX >> 3) < ord_key(CLASS_DRIVER, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence overflow")]
+    fn ord_key_rejects_seq_overflow() {
+        let _ = ord_key(CLASS_TIMER, 0, ORD_SEQ_LIMIT);
     }
 
     #[test]
@@ -256,7 +317,7 @@ mod tests {
             // Insert times in a scrambled but deterministic order.
             for i in 0..n {
                 let t = (i * 7919) % n; // permutation when gcd(7919, n) == 1
-                q.push(SimTime::from_nanos(t * 1_000_000), timer(0, t));
+                q.push(SimTime::from_nanos(t * 1_000_000), t, timer(0, t));
             }
             let out = drain_tokens(&mut q);
             let mut expect = out.clone();
@@ -270,29 +331,30 @@ mod tests {
 
     proptest! {
         /// Under arbitrary interleavings of pushes and pops, every pop must
-        /// return exactly the minimum `(time, seq)` element currently
-        /// queued — checked against a `BTreeSet` reference model. Tokens
-        /// are assigned in push order, so they must equal the internal
-        /// sequence numbers.
+        /// return exactly the minimum `(time, ord)` element currently
+        /// queued — checked against a `BTreeSet` reference model. Ord keys
+        /// are drawn independently of push order (with a disambiguating
+        /// low-bits counter so keys are unique, as the engine guarantees).
         #[test]
-        fn prop_pops_min_time_seq_under_interleaving(
-            ops in proptest::collection::vec((0u64..40, any::<bool>()), 1..400),
+        fn prop_pops_min_time_ord_under_interleaving(
+            ops in proptest::collection::vec((0u64..40, 0u64..8, any::<bool>()), 1..400),
         ) {
             let mut q = EventQueue::new();
             let mut model: BTreeSet<(SimTime, u64)> = BTreeSet::new();
-            let mut next_token = 0u64;
+            let mut token = 0u64;
             let read = |e: Event| match e.kind {
                 EventKind::Timer { token, .. } => (e.time, token),
                 _ => unreachable!(),
             };
-            for &(t, is_pop) in &ops {
+            for &(t, o, is_pop) in &ops {
                 if is_pop {
                     prop_assert_eq!(q.pop().map(read), model.pop_first());
                 } else {
                     let time = SimTime::from_nanos(t * 1_000_000);
-                    q.push(time, timer(0, next_token));
-                    model.insert((time, next_token));
-                    next_token += 1;
+                    let ord = (o << 32) | token;
+                    q.push(time, ord, timer(0, ord));
+                    model.insert((time, ord));
+                    token += 1;
                 }
             }
             while let Some(e) = q.pop() {
@@ -306,13 +368,14 @@ mod tests {
     #[test]
     fn interleaved_push_pop_keeps_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_secs(5), timer(0, 50));
-        q.push(SimTime::from_secs(1), timer(0, 10));
+        q.push(SimTime::from_secs(5), 0, timer(0, 50));
+        q.push(SimTime::from_secs(1), 1, timer(0, 10));
         assert_eq!(q.pop().unwrap().time, SimTime::from_secs(1));
-        q.push(SimTime::from_secs(2), timer(0, 20));
-        q.push(SimTime::from_secs(5), timer(0, 51)); // same time as first
+        q.push(SimTime::from_secs(2), 2, timer(0, 20));
+        q.push(SimTime::from_secs(5), 3, timer(0, 51)); // same time, later ord
         assert_eq!(drain_tokens(&mut q), vec![20, 50, 51]);
         assert_eq!(q.len(), 0);
         assert_eq!(q.peek_time(), None);
+        assert_eq!(q.peek_key(), None);
     }
 }

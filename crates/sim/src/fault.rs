@@ -16,22 +16,55 @@
 //!   loses every packet while `(now + phase) mod period < down`. Outages
 //!   draw no randomness at all.
 //!
-//! Loss and corruption draw from a **dedicated fault RNG** seeded as a fixed
-//! function of the simulation seed but advanced only by impaired channels.
-//! The engine RNG that nodes observe through [`crate::node::Ctx::rng`] is
-//! never touched, so enabling impairments cannot perturb event order or
-//! node behavior beyond the faults themselves, and a zero-impairment run is
-//! bit-identical to one built without this module (invariant 6 holds in
-//! both directions).
+//! Loss and corruption draw from a **dedicated per-channel fault RNG**
+//! seeded as a fixed function of the simulation seed and the channel id but
+//! advanced only by that channel's own loss/corruption draws. The RNGs that
+//! nodes observe through [`crate::node::Ctx::rng`] are never touched, so
+//! enabling impairments cannot perturb event order or node behavior beyond
+//! the faults themselves, and a zero-impairment run is bit-identical to one
+//! built without this module (invariant 6 holds in both directions).
+//! Keying the stream by channel also makes fault draws independent of the
+//! order channels transmit in — a precondition for the sharded engine
+//! (DESIGN.md "Sharded engine"), where that order is a shard-local notion.
 
 use rand::rngs::SmallRng;
-use rand::RngCore;
+use rand::{RngCore, SeedableRng};
 
 use crate::time::{SimDuration, SimTime};
 
-/// XOR'd into the simulation seed to derive the fault RNG stream, keeping it
-/// disjoint from the engine RNG that is seeded with the raw value.
+/// XOR'd into the simulation seed to derive the fault RNG streams, keeping
+/// them disjoint from the node RNGs derived from the raw value.
 pub(crate) const FAULT_STREAM: u64 = 0x00FA_171A_7ED0_5EED;
+
+/// SplitMix64 finalizer: a cheap, high-quality bijective mixer used to
+/// derive independent per-entity RNG seeds from (seed, entity-id) pairs.
+#[inline]
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One impaired channel's state: its configuration plus its private fault
+/// stream. Boxed inside the channel so unimpaired channels pay one pointer.
+#[derive(Debug)]
+pub(crate) struct ImpairState {
+    pub cfg: Impairments,
+    pub rng: SmallRng,
+}
+
+impl ImpairState {
+    /// Builds the state for channel `ch` under simulation seed `seed`. The
+    /// stream is a pure function of `(seed, ch)`, so it does not depend on
+    /// when the impairment was installed or what other channels have drawn.
+    pub fn new(cfg: Impairments, seed: u64, ch: usize) -> Self {
+        ImpairState {
+            cfg,
+            rng: SmallRng::seed_from_u64(mix64(seed ^ FAULT_STREAM ^ mix64(ch as u64))),
+        }
+    }
+}
 
 /// A deterministic periodic outage: the channel is dead for `down` out of
 /// every `period`, starting `phase` into the cycle.

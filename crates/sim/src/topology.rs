@@ -7,9 +7,9 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use crate::engine::{Channel, RouteTable, Simulator};
+use crate::engine::{Channel, RouteTable, ShardPlan, Simulator};
 use crate::event::{ChannelId, NodeId};
-use crate::fault::Impairments;
+use crate::fault::{ImpairState, Impairments};
 use crate::intern::AddrInterner;
 use crate::node::Node;
 use crate::queue::QueueDisc;
@@ -94,43 +94,40 @@ impl TopologyBuilder {
         qa: Box<dyn QueueDisc>,
         qb: Box<dyn QueueDisc>,
     ) -> LinkHandle {
+        let mk = |from, to, queue| Channel {
+            from,
+            to,
+            bandwidth_bps,
+            delay,
+            queue,
+            busy: false,
+            in_flight: None,
+            wake_at: None,
+            impair: None,
+            up: true,
+            epoch: 0,
+            delivery_seq: 0,
+            tx_seq: 0,
+            wake_seq: 0,
+            stats: Default::default(),
+        };
         let ab = ChannelId(self.channels.len());
-        self.channels.push(Channel {
-            from: a,
-            to: b,
-            bandwidth_bps,
-            delay,
-            queue: qa,
-            busy: false,
-            in_flight: None,
-            wake_at: None,
-            impair: None,
-            up: true,
-            epoch: 0,
-            stats: Default::default(),
-        });
+        self.channels.push(mk(a, b, qa));
         let ba = ChannelId(self.channels.len());
-        self.channels.push(Channel {
-            from: b,
-            to: a,
-            bandwidth_bps,
-            delay,
-            queue: qb,
-            busy: false,
-            in_flight: None,
-            wake_at: None,
-            impair: None,
-            up: true,
-            epoch: 0,
-            stats: Default::default(),
-        });
+        self.channels.push(mk(b, a, qb));
         LinkHandle { ab, ba }
     }
 
     /// Configures wire impairments on one channel (see
     /// [`crate::fault::Impairments`]); a no-op configuration clears them.
     pub fn impair(&mut self, ch: ChannelId, imp: Impairments) {
-        self.channels[ch.0].impair = if imp.is_noop() { None } else { Some(imp) };
+        // The seed is unknown until `build`, which re-keys every impair
+        // state to its canonical per-channel stream.
+        self.channels[ch.0].impair = if imp.is_noop() {
+            None
+        } else {
+            Some(Box::new(ImpairState::new(imp, 0, ch.0)))
+        };
     }
 
     /// Applies the same impairments to both directions of a link.
@@ -145,6 +142,16 @@ impl TopologyBuilder {
     /// defaults are retained by the simulator so routes can re-converge
     /// when links fail at runtime.
     pub fn build(self, seed: u64) -> Simulator {
+        self.build_sharded(seed, None)
+    }
+
+    /// Like [`TopologyBuilder::build`], but with an explicit shard count:
+    /// `Some(n)` partitions the event loop into `n` shards (clamped to the
+    /// node count), `None` honors the `TVA_SHARDS` environment variable
+    /// (default 1). Results are bit-identical for every shard count — see
+    /// DESIGN.md "Sharded engine".
+    pub fn build_sharded(self, seed: u64, shards: Option<usize>) -> Simulator {
+        let shards = shards.unwrap_or_else(env_shards);
         let n = self.nodes.len();
         let mut interner = AddrInterner::new();
         for &(addr, _) in &self.addrs {
@@ -154,6 +161,7 @@ impl TopologyBuilder {
             interner.intern(addr);
         }
         let routes = compute_routes(n, &self.channels, &self.addrs, &self.defaults, &interner);
+        let plan = make_plan(n, &self.channels, shards);
         Simulator::new(
             self.nodes,
             self.channels,
@@ -163,7 +171,61 @@ impl TopologyBuilder {
             self.defaults,
             self.statics,
             seed,
+            plan,
         )
+    }
+}
+
+/// Parses `TVA_SHARDS` (unset, empty, unparsable, or 0 all mean 1).
+fn env_shards() -> usize {
+    // `TVA_SHARD_THREADS` is reserved for a threaded window executor; the
+    // mailbox design already confines cross-shard traffic to the window
+    // barrier, but shards currently run interleaved on one thread. Say so
+    // rather than silently ignore the request.
+    if let Ok(v) = std::env::var("TVA_SHARD_THREADS") {
+        if v.trim().parse::<usize>().map(|t| t > 1).unwrap_or(false) {
+            eprintln!(
+                "tva-sim: TVA_SHARD_THREADS={v} requested, but threaded shard execution \
+                 is not implemented yet; running all shards on one thread"
+            );
+        }
+    }
+    std::env::var("TVA_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
+}
+
+/// Builds the shard plan: contiguous node-id ranges balanced by node count
+/// (`shard(i) = i * shards / n`), channels owned by their transmitting
+/// node's shard, lookahead = minimum cross-shard propagation delay. Returns
+/// `None` (single event loop) for one shard or when a zero-delay link
+/// crosses shards — a zero horizon admits no safe window.
+fn make_plan(n: usize, channels: &[Channel], shards: usize) -> Option<ShardPlan> {
+    let shards = shards.min(n.max(1));
+    if shards <= 1 {
+        return None;
+    }
+    let shard_of_node: Vec<u32> = (0..n).map(|i| ((i * shards) / n) as u32).collect();
+    let mut lookahead: Option<SimDuration> = None;
+    for ch in channels {
+        if shard_of_node[ch.from.0] != shard_of_node[ch.to.0] {
+            lookahead = Some(lookahead.map_or(ch.delay, |l| l.min(ch.delay)));
+        }
+    }
+    match lookahead {
+        Some(l) if l.as_nanos() == 0 => {
+            eprintln!(
+                "tva-sim: zero-delay link crosses shards; no safe lookahead horizon exists, \
+                 falling back to a single event loop"
+            );
+            None
+        }
+        Some(l) => Some(ShardPlan { shard_of_node, lookahead: l, shards }),
+        // No cross-shard links at all: the shards are fully independent and
+        // any horizon is conservative.
+        None => Some(ShardPlan { shard_of_node, lookahead: SimDuration::from_secs(3600), shards }),
     }
 }
 
@@ -393,6 +455,83 @@ mod tests {
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.node::<SinkNode>(sink).received, 1);
         assert_eq!(sim.unrouted(), 0);
+    }
+
+    fn chain(n: usize, delay: SimDuration) -> (TopologyBuilder, Vec<NodeId>, Addr) {
+        let mut t = TopologyBuilder::new();
+        let mut nodes = Vec::new();
+        for _ in 0..n - 1 {
+            nodes.push(t.add_node(Box::new(Fwd)));
+        }
+        let sink = t.add_node(Box::<SinkNode>::default());
+        nodes.push(sink);
+        let dst = Addr::new(10, 0, 0, 1);
+        t.bind_addr(sink, dst);
+        for w in nodes.windows(2) {
+            t.link(w[0], w[1], 1_000_000, delay, q(), q());
+        }
+        (t, nodes, dst)
+    }
+
+    #[test]
+    fn shard_plan_partitions_contiguously() {
+        let (t, nodes, _) = chain(8, SimDuration::from_millis(2));
+        let sim = t.build_sharded(0, Some(4));
+        assert_eq!(sim.shard_count(), 4);
+        // Contiguous node-id ranges: shard ids are non-decreasing and
+        // cover 0..shards.
+        let shards: Vec<usize> = nodes.iter().map(|&n| sim.shard_of_node(n)).collect();
+        assert!(shards.windows(2).all(|w| w[0] <= w[1]), "{shards:?} not contiguous");
+        assert_eq!(shards.first(), Some(&0));
+        assert_eq!(shards.last(), Some(&3));
+        // Lookahead is the minimum cross-shard link delay.
+        assert_eq!(sim.shard_lookahead(), Some(SimDuration::from_millis(2)));
+    }
+
+    #[test]
+    fn shard_count_clamps_to_node_count() {
+        let (t, _, _) = chain(2, SimDuration::from_millis(1));
+        let sim = t.build_sharded(0, Some(8));
+        assert!(sim.shard_count() <= 2, "got {} shards for 2 nodes", sim.shard_count());
+    }
+
+    #[test]
+    fn zero_delay_cross_shard_falls_back_to_single_loop() {
+        let (t, _, _) = chain(4, SimDuration::ZERO);
+        let sim = t.build_sharded(0, Some(2));
+        assert_eq!(sim.shard_count(), 1, "zero lookahead cannot be sharded conservatively");
+    }
+
+    #[test]
+    fn sharded_chain_delivers_identically() {
+        // The same injected traffic through 1, 2, and 4 shards: identical
+        // deliveries, identical event counts, balanced mailboxes.
+        let mut results = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let (t, nodes, dst) = chain(4, SimDuration::from_millis(1));
+            let mut sim = t.build_sharded(7, Some(shards));
+            for i in 0..20u64 {
+                let pkt = Packet {
+                    id: PacketId(i),
+                    src: Addr::new(20, 0, 0, 1),
+                    dst,
+                    cap: None,
+                    tcp: None,
+                    payload_len: 64,
+                };
+                sim.inject(nodes[0], ChannelId(0), pkt);
+            }
+            sim.run_until(SimTime::from_secs(2));
+            sim.audit_sharding().expect("mailboxes must balance");
+            let (sent, delivered) = sim.mailbox_stats();
+            assert_eq!(sent, delivered);
+            results.push((
+                sim.node::<SinkNode>(*nodes.last().unwrap()).received,
+                sim.events_processed(),
+            ));
+        }
+        assert_eq!(results[0].0, 20, "all packets delivered");
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?} diverged across shards");
     }
 
     #[test]

@@ -47,4 +47,10 @@ test -s target/verify-obs/obs/fig8_TVA_trace.perfetto.json
 cargo run --release -q -p tva-obs --bin obscheck -- \
   target/verify-obs/obs/*.json target/verify-obs/obs/*.jsonl
 
+echo "==> shard smoke (fig8 quick under TVA_SHARDS=4, byte-identical to unsharded)"
+TVA_RESULTS_DIR=target/verify-obs/sharded TVA_SHARDS=4 \
+  cargo run --release -q -p tva-experiments --bin fig8 >/dev/null
+cmp target/verify-obs/off/fig8.tsv target/verify-obs/sharded/fig8.tsv
+cmp target/verify-obs/off/fig8.json target/verify-obs/sharded/fig8.json
+
 echo "verify: OK"

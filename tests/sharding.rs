@@ -1,0 +1,288 @@
+//! Sharded-engine determinism and conservation (DESIGN.md "Sharded
+//! engine"): partitioning the event loop must not change any observable.
+//! The trace stream, scenario metrics, and fig8-style TSV rows must be
+//! byte-identical for every shard count, and the cross-shard mailboxes
+//! must conserve packets even when every flow crosses a shard boundary.
+
+use std::hash::{BuildHasher, Hasher};
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use tva::core::{
+    ClientPolicy, HostConfig, RouterConfig, ServerPolicy, TvaHostShim, TvaRouterNode, TvaScheduler,
+};
+use tva::experiments::{run, Attack, ScenarioConfig, Scheme};
+use tva::sim::{
+    format_event, ChannelId, Ctx, DropTail, Node, Pkt, SimDuration, SimTime, SinkNode,
+    TopologyBuilder,
+};
+use tva::transport::{ClientNode, ServerNode, TcpConfig, TOKEN_START};
+use tva::wire::{Addr, DetBuildHasher, Grant, Packet, PacketId};
+
+/// The fig8-style TVA dumbbell from tests/determinism.rs, built with an
+/// explicit shard count. Returns the trace-stream hash, events dispatched,
+/// and the cross-shard mailbox ledger `(sent, delivered)`.
+fn traced_dumbbell(seed: u64, sim_secs: u64, shards: usize) -> (u64, u64, (u64, u64)) {
+    const SERVER: Addr = Addr::new(10, 0, 0, 1);
+    let cfg1 = RouterConfig { secret_seed: seed ^ 0x1111, ..Default::default() };
+    let cfg2 = RouterConfig { secret_seed: seed ^ 0x2222, ..Default::default() };
+    let mut t = TopologyBuilder::new();
+    let r1 = t.add_node(Box::new(TvaRouterNode::new(cfg1.clone(), 10_000_000)));
+    let r2 = t.add_node(Box::new(TvaRouterNode::new(cfg2.clone(), 10_000_000)));
+    let server = t.add_node(Box::new(ServerNode::new(
+        SERVER,
+        TcpConfig::default(),
+        Box::new(TvaHostShim::new(
+            SERVER,
+            HostConfig::default(),
+            Box::new(ServerPolicy::new(Grant::from_parts(100, 10), SimDuration::from_secs(30))),
+        )),
+    )));
+    t.bind_addr(server, SERVER);
+    let d = SimDuration::from_millis(10);
+    t.link(
+        r1,
+        r2,
+        10_000_000,
+        d,
+        Box::new(TvaScheduler::new(10_000_000, &cfg1)),
+        Box::new(TvaScheduler::new(10_000_000, &cfg2)),
+    );
+    t.link(
+        r2,
+        server,
+        100_000_000,
+        d,
+        Box::new(TvaScheduler::new(100_000_000, &cfg2)),
+        Box::new(DropTail::new(1 << 20)),
+    );
+    let mut clients = Vec::new();
+    for i in 0..5 {
+        let addr = Addr::new(20, 0, 0, i + 1);
+        let c = t.add_node(Box::new(ClientNode::new(
+            addr,
+            SERVER,
+            20 * 1024,
+            100_000,
+            TcpConfig::default(),
+            Box::new(TvaHostShim::new(
+                addr,
+                HostConfig::default(),
+                Box::new(ClientPolicy { grant: Grant::from_parts(100, 10) }),
+            )),
+        )));
+        t.bind_addr(c, addr);
+        t.link(
+            c,
+            r1,
+            100_000_000,
+            d,
+            Box::new(DropTail::new(1 << 20)),
+            Box::new(TvaScheduler::new(100_000_000, &cfg1)),
+        );
+        clients.push(c);
+    }
+    let mut sim = t.build_sharded(seed, Some(shards));
+    let hasher = Arc::new(Mutex::new(DetBuildHasher::default().build_hasher()));
+    let sink = Arc::clone(&hasher);
+    sim.set_tracer(Some(Box::new(move |ev| {
+        let mut h = sink.lock().expect("tracer hash lock");
+        h.write(format_event(ev).as_bytes());
+        h.write_u8(b'\n');
+    })));
+    for &c in &clients {
+        sim.kick(c, TOKEN_START);
+    }
+    sim.run_until(SimTime::from_secs(sim_secs));
+    sim.audit_channels().expect("channel ledgers must balance");
+    sim.audit_sharding().expect("shard mailboxes must balance");
+    let events = sim.events_processed();
+    let hash = hasher.lock().expect("tracer hash lock").finish();
+    (hash, events, sim.mailbox_stats())
+}
+
+/// Byte-identical trace streams for 1, 2, and 8 shards — every enqueue,
+/// drop, transmit, and delivery in the same canonical order regardless of
+/// how the topology is partitioned.
+#[test]
+fn trace_stream_identical_across_shard_counts() {
+    let (h1, n1, mb1) = traced_dumbbell(20_050_821, 20, 1);
+    let (h2, n2, mb2) = traced_dumbbell(20_050_821, 20, 2);
+    let (h8, n8, mb8) = traced_dumbbell(20_050_821, 20, 8);
+    assert!(n1 > 10_000, "dumbbell must generate real traffic, got {n1} events");
+    assert_eq!(n1, n2, "event counts must match for 1 vs 2 shards");
+    assert_eq!(n1, n8, "event counts must match for 1 vs 8 shards");
+    assert_eq!(h1, h2, "trace streams must be byte-identical for 1 vs 2 shards");
+    assert_eq!(h1, h8, "trace streams must be byte-identical for 1 vs 8 shards");
+    // Unsharded runs have no mailboxes; sharded runs must actually use
+    // them (otherwise this test proves nothing).
+    assert_eq!(mb1, (0, 0));
+    assert!(mb2.0 > 0, "2-shard run should exchange cross-shard events");
+    assert!(mb8.0 > mb2.0, "8 shards cut more links than 2");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The shard-invariance of the trace stream is not seed luck: any
+    /// seed produces identical streams at 1, 2, and 8 shards.
+    #[test]
+    fn trace_stream_shard_invariant_for_random_seeds(seed in any::<u64>()) {
+        let (h1, n1, _) = traced_dumbbell(seed, 5, 1);
+        let (h2, n2, _) = traced_dumbbell(seed, 5, 2);
+        let (h8, n8, _) = traced_dumbbell(seed, 5, 8);
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(n1, n8);
+        prop_assert_eq!(h1, h2);
+        prop_assert_eq!(h1, h8);
+    }
+}
+
+/// Full scenario metrics (transfer records, summary, drop rates) are
+/// identical whether the engine runs 1, 2, or 8 shards.
+#[test]
+fn scenario_results_identical_across_shard_counts() {
+    let cfg = |shards| ScenarioConfig {
+        scheme: Scheme::Tva,
+        attack: Attack::LegacyFlood,
+        n_attackers: 8,
+        n_users: 3,
+        transfers_per_user: 10,
+        duration: SimTime::from_secs(40),
+        seed: 7,
+        shards: Some(shards),
+        ..ScenarioConfig::default()
+    };
+    let a = run(&cfg(1));
+    let b = run(&cfg(2));
+    let c = run(&cfg(8));
+    assert_eq!(a.transfers, b.transfers, "1 vs 2 shards: transfer records diverged");
+    assert_eq!(a.transfers, c.transfers, "1 vs 8 shards: transfer records diverged");
+    assert_eq!(a.summary.attempts, b.summary.attempts);
+    assert_eq!(a.summary.attempts, c.summary.attempts);
+    assert!((a.bottleneck_drop_rate - b.bottleneck_drop_rate).abs() < 1e-12);
+    assert!((a.bottleneck_drop_rate - c.bottleneck_drop_rate).abs() < 1e-12);
+    assert!((a.bottleneck_utilization - c.bottleneck_utilization).abs() < 1e-12);
+}
+
+/// The fig8 TSV rows (the exact strings run_sweep_figure writes) are
+/// byte-identical across shard counts, on a reduced fig8-shaped grid.
+#[test]
+fn fig8_rows_identical_across_shard_counts() {
+    let rows_for = |shards: usize| -> String {
+        let mut out = String::new();
+        for scheme in [Scheme::Internet, Scheme::Tva] {
+            for k in [1usize, 5] {
+                let cfg = ScenarioConfig {
+                    scheme,
+                    attack: Attack::LegacyFlood,
+                    n_attackers: k,
+                    n_users: 2,
+                    transfers_per_user: 4,
+                    duration: SimTime::from_secs(30),
+                    shards: Some(shards),
+                    ..ScenarioConfig::default()
+                };
+                let r = run(&cfg);
+                // The exact row format from figrun::run_sweep_figure.
+                out.push_str(&format!(
+                    "{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{}\t{:.3}\t{:.3}\n",
+                    scheme.name(),
+                    k,
+                    r.summary.completion_fraction,
+                    r.summary.avg_completion_secs,
+                    r.summary.p95_secs,
+                    r.summary.attempts,
+                    r.bottleneck_drop_rate,
+                    r.bottleneck_utilization,
+                ));
+            }
+        }
+        out
+    };
+    let unsharded = rows_for(1);
+    assert_eq!(unsharded, rows_for(2), "fig8 rows diverged at 2 shards");
+    assert_eq!(unsharded, rows_for(8), "fig8 rows diverged at 8 shards");
+}
+
+/// A node that forwards every arriving packet by routing on dst.
+struct Fwd;
+impl Node for Fwd {
+    fn on_packet(&mut self, pkt: Pkt, _from: ChannelId, ctx: &mut dyn Ctx) {
+        ctx.send(pkt);
+    }
+    fn on_timer(&mut self, _token: u64, _ctx: &mut dyn Ctx) {}
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Shard-boundary conservation: an 8-node forwarding chain split into 8
+/// shards, so *every* hop of *every* flow crosses a shard boundary. All
+/// packets must arrive, the channel ledgers must balance, and the mailbox
+/// ledger must show the cross-shard traffic.
+#[test]
+fn every_flow_crosses_shards_and_conserves() {
+    const HOPS: usize = 7;
+    let mut t = TopologyBuilder::new();
+    let mut nodes = Vec::new();
+    for _ in 0..HOPS {
+        nodes.push(t.add_node(Box::new(Fwd)));
+    }
+    let sink = t.add_node(Box::<SinkNode>::default());
+    nodes.push(sink);
+    let dst = Addr::new(10, 0, 0, 1);
+    t.bind_addr(sink, dst);
+    for w in nodes.windows(2) {
+        t.link(
+            w[0],
+            w[1],
+            1_000_000,
+            SimDuration::from_millis(1),
+            Box::new(DropTail::new(1 << 20)),
+            Box::new(DropTail::new(1 << 20)),
+        );
+    }
+    let mut sim = t.build_sharded(3, Some(8));
+    assert_eq!(sim.shard_count(), 8, "one shard per node");
+    for c in 0..sim.channel_count() {
+        let ch = sim.channel(ChannelId(c));
+        assert_ne!(
+            sim.shard_of_node(ch.from),
+            sim.shard_of_node(ch.to),
+            "every link must cross a shard boundary in this topology"
+        );
+    }
+    const PKTS: u64 = 50;
+    for i in 0..PKTS {
+        let pkt = Packet {
+            id: PacketId(i),
+            src: Addr::new(20, 0, 0, 1),
+            dst,
+            cap: None,
+            tcp: None,
+            payload_len: 100,
+        };
+        sim.inject(nodes[0], ChannelId(0), pkt);
+    }
+    sim.run_until(SimTime::from_secs(5));
+    assert_eq!(sim.node::<SinkNode>(sink).received, PKTS, "all packets must cross the chain");
+    sim.audit_channels().expect("per-channel conservation must hold across shard boundaries");
+    sim.audit_sharding().expect("shard mailboxes must balance");
+    let (sent, delivered) = sim.mailbox_stats();
+    assert_eq!(sent, delivered, "every mailboxed event must be delivered");
+    assert!(
+        sent >= PKTS * HOPS as u64,
+        "each hop of each packet crosses a shard: expected ≥ {} mailboxed events, got {sent}",
+        PKTS * HOPS as u64
+    );
+    assert!(sim.shard_windows() > 0, "the run must have used the window scheduler");
+    assert_eq!(
+        sim.shard_lookahead(),
+        Some(SimDuration::from_millis(1)),
+        "lookahead is the minimum cross-shard link delay"
+    );
+}
