@@ -17,8 +17,6 @@ use crate::policy::AllowAll;
 use crate::shim::TvaHostShim;
 use tva_wire::Grant;
 
-const TOKEN_EMIT: u64 = 0;
-
 /// An attacker that acquires capabilities through the normal TVA handshake
 /// and then floods authorized traffic at a configured rate.
 pub struct AuthorizedFlooder {
@@ -40,6 +38,14 @@ pub struct AuthorizedFlooder {
     /// Whether a pacing timer is outstanding (guards against parallel
     /// timer chains multiplying the flood rate).
     pacing_armed: bool,
+    /// Whether the outstanding timer is a request-probe backoff — safe to
+    /// supersede the moment capabilities arrive — rather than a flood gap.
+    armed_probe: bool,
+    /// Generation stamped into each armed timer's token; a firing token
+    /// that doesn't match was superseded (a probe backoff overtaken by a
+    /// grant) and is ignored. Always even, so wrapper nodes can multiplex
+    /// odd tokens of their own.
+    timer_gen: u64,
     /// Spoof this source address on flood and request packets (§7).
     spoof_src: Option<Addr>,
     /// Packets flooded with capabilities attached.
@@ -76,6 +82,8 @@ impl AuthorizedFlooder {
             base_request_interval: SimDuration::from_millis(200),
             last_request: None,
             pacing_armed: false,
+            armed_probe: false,
+            timer_gen: 0,
             spoof_src: None,
             flooded: 0,
             flooded_bytes: 0,
@@ -88,6 +96,27 @@ impl AuthorizedFlooder {
         self
     }
 
+    /// Adopts a fresh identity: new source address and a new shim (so all
+    /// previously harvested capabilities are abandoned and the handshake
+    /// starts over). Used by rotating-identity attackers that churn router
+    /// flow/capability state.
+    pub fn rebind(&mut self, addr: Addr, shim: Box<dyn Shim>) {
+        self.local = addr;
+        self.shim = shim;
+        self.request_interval = self.base_request_interval;
+        self.last_request = None;
+    }
+
+    /// Starts (or resumes) the emit loop unless a pacing timer is already
+    /// outstanding. Safe to call from wrapper nodes after a [`rebind`].
+    ///
+    /// [`rebind`]: AuthorizedFlooder::rebind
+    pub fn ensure_running(&mut self, ctx: &mut dyn Ctx) {
+        if !self.pacing_armed {
+            self.emit(ctx);
+        }
+    }
+
     fn active(&self, now: SimTime) -> bool {
         match self.window {
             None => true,
@@ -95,9 +124,11 @@ impl AuthorizedFlooder {
         }
     }
 
-    fn arm(&mut self, ctx: &mut dyn Ctx, delay: SimDuration) {
+    fn arm(&mut self, ctx: &mut dyn Ctx, delay: SimDuration, probe: bool) {
         self.pacing_armed = true;
-        ctx.set_timer(delay, TOKEN_EMIT);
+        self.armed_probe = probe;
+        self.timer_gen = self.timer_gen.wrapping_add(2);
+        ctx.set_timer(delay, self.timer_gen);
     }
 
     fn emit(&mut self, ctx: &mut dyn Ctx) {
@@ -107,7 +138,7 @@ impl AuthorizedFlooder {
                 return; // done forever
             }
             if now < start {
-                self.arm(ctx, start.since(now));
+                self.arm(ctx, start.since(now), false);
                 return;
             }
         }
@@ -133,7 +164,7 @@ impl AuthorizedFlooder {
             let base = SimDuration::transmission(len, self.rate_bps);
             let u = (ctx.rng().next_u64() >> 11) as f64 / (1u64 << 53) as f64;
             let gap = SimDuration::from_nanos((base.as_nanos() as f64 * (0.5 + u)) as u64);
-            self.arm(ctx, gap);
+            self.arm(ctx, gap, false);
         } else {
             // Unauthorized: probe with a request periodically. The shim
             // turns a bare packet into a request automatically.
@@ -153,7 +184,7 @@ impl AuthorizedFlooder {
                 self.request_interval =
                     (self.request_interval * 2).min(SimDuration::from_secs(60));
             }
-            self.arm(ctx, self.request_interval);
+            self.arm(ctx, self.request_interval, true);
         }
     }
 }
@@ -167,16 +198,20 @@ impl Node for AuthorizedFlooder {
             ctx.send_new(out);
         }
         // If we just became authorized, start (or resume) flooding now —
-        // but never grow a second pacing chain.
+        // superseding an outstanding request-probe backoff (its stale timer
+        // is ignored by generation) but never growing a second flood chain.
         if self.shim.ready_to_send(self.target, ctx.now()) {
             self.request_interval = self.base_request_interval;
-            if !self.pacing_armed {
+            if !self.pacing_armed || self.armed_probe {
                 self.emit(ctx);
             }
         }
     }
 
-    fn on_timer(&mut self, _token: u64, ctx: &mut dyn Ctx) {
+    fn on_timer(&mut self, token: u64, ctx: &mut dyn Ctx) {
+        if token != self.timer_gen {
+            return; // superseded chain (probe backoff overtaken by a grant)
+        }
         self.pacing_armed = false;
         self.emit(ctx);
     }
@@ -198,6 +233,104 @@ impl AuthorizedFlooder {
     /// out-of-band (see [`SpoofColluder`]).
     pub fn with_spoofed_source(mut self, victim: Addr) -> Self {
         self.spoof_src = Some(victim);
+        self
+    }
+}
+
+/// A factory producing a per-identity host shim for [`RotatingFlooder`]:
+/// called once per rotation with the identity's address.
+pub type ShimFactory = Box<dyn FnMut(Addr) -> Box<dyn Shim> + Send>;
+
+/// A rotating-identity attacker: an [`AuthorizedFlooder`] that periodically
+/// abandons its current source address (and every capability it has
+/// obtained) and restarts the handshake under the next identity. Each
+/// rotation forces fresh router state — flow-table slots, capability-cache
+/// entries, request-channel fair-queue keys — so a small attacker
+/// population exercises table churn far beyond its packet rate.
+///
+/// All identities must be bound (via `TopologyBuilder::bind_addr`) to this
+/// node so grant replies route back regardless of which identity sent the
+/// request.
+pub struct RotatingFlooder {
+    inner: AuthorizedFlooder,
+    identities: Vec<Addr>,
+    current: usize,
+    rotate_every: SimDuration,
+    make_shim: ShimFactory,
+    started: bool,
+    /// Identity rotations performed so far.
+    pub rotations: u64,
+}
+
+impl RotatingFlooder {
+    /// Timer token that advances to the next identity. Kick with this token
+    /// to start the attack (distinct from the inner pacing token 0).
+    pub const TOKEN_ROTATE: u64 = 1;
+
+    /// Creates a rotating flooder over `identities` (first one is adopted
+    /// immediately on start), attacking `target` at `rate_bps` and
+    /// switching identity every `rotate_every`.
+    pub fn new(
+        identities: Vec<Addr>,
+        target: Addr,
+        rate_bps: u64,
+        rotate_every: SimDuration,
+        mut make_shim: ShimFactory,
+    ) -> Self {
+        assert!(!identities.is_empty(), "need at least one identity");
+        assert!(rotate_every > SimDuration::ZERO);
+        let first = identities[0];
+        let shim = make_shim(first);
+        let inner = AuthorizedFlooder::with_shim(first, target, rate_bps, shim);
+        RotatingFlooder {
+            inner,
+            identities,
+            current: 0,
+            rotate_every,
+            make_shim,
+            started: false,
+            rotations: 0,
+        }
+    }
+
+    /// Packets flooded with capabilities attached (across all identities).
+    pub fn flooded(&self) -> u64 {
+        self.inner.flooded
+    }
+
+    fn rotate(&mut self, ctx: &mut dyn Ctx) {
+        if self.started {
+            self.current = (self.current + 1) % self.identities.len();
+            self.rotations += 1;
+            let addr = self.identities[self.current];
+            let shim = (self.make_shim)(addr);
+            self.inner.rebind(addr, shim);
+        } else {
+            self.started = true;
+        }
+        ctx.set_timer(self.rotate_every, Self::TOKEN_ROTATE);
+        self.inner.ensure_running(ctx);
+    }
+}
+
+impl Node for RotatingFlooder {
+    fn on_packet(&mut self, pkt: tva_sim::Pkt, from: ChannelId, ctx: &mut dyn Ctx) {
+        self.inner.on_packet(pkt, from, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut dyn Ctx) {
+        if token == Self::TOKEN_ROTATE {
+            self.rotate(ctx);
+        } else {
+            self.inner.on_timer(token, ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
 }

@@ -56,7 +56,7 @@ pub mod router;
 pub mod scheduler;
 pub mod shim;
 
-pub use attack::{AuthorizedFlooder, SpoofColluder};
+pub use attack::{AuthorizedFlooder, RotatingFlooder, ShimFactory, SpoofColluder};
 pub use capability::{expired, mint_cap, mint_precap, validate_cap, validate_precap, CapError};
 pub use config::{HostConfig, RegularQueueKey, RouterConfig};
 pub use flowtable::{Charge, FlowEntry, FlowTable};

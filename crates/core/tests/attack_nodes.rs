@@ -3,8 +3,8 @@
 //! scheduling used by Figure 11's staged attacks.
 
 use tva_core::{
-    AllowAll, AuthorizedFlooder, HostConfig, RouterConfig, TvaHostShim, TvaRouterNode,
-    TvaScheduler,
+    AllowAll, AuthorizedFlooder, HostConfig, RotatingFlooder, RouterConfig, ShimFactory,
+    TvaHostShim, TvaRouterNode, TvaScheduler,
 };
 use tva_sim::{DropTail, SimDuration, SimTime, TopologyBuilder};
 use tva_transport::{ServerNode, TcpConfig};
@@ -103,6 +103,83 @@ fn flooder_respects_its_window() {
         "window-bounded flood, got {} bytes",
         f.flooded_bytes
     );
+}
+
+#[test]
+fn rotating_flooder_churns_identities_with_bounded_router_state() {
+    // A rotating-identity flooder against a TVA router + always-granting
+    // destination: it must actually rotate, keep flooding across rebinds,
+    // and leave the router's flow table bounded and internally consistent
+    // (identity churn is the flow-state exhaustion attack §3.6 defends
+    // against).
+    let grant = Grant::from_parts(1023, 10);
+    let cfg = RouterConfig { secret_seed: 5, ..Default::default() };
+    let mut t = TopologyBuilder::new();
+    let router = t.add_node(Box::new(TvaRouterNode::new(cfg.clone(), 10_000_000)));
+    let colluder = t.add_node(Box::new(ServerNode::new(
+        COLLUDER,
+        TcpConfig::default(),
+        Box::new(TvaHostShim::new(
+            COLLUDER,
+            HostConfig {
+                default_grant: grant,
+                misbehavior_bytes_per_sec: f64::INFINITY,
+                misbehavior_demoted_bytes_per_sec: f64::INFINITY,
+                ..HostConfig::default()
+            },
+            Box::new(AllowAll { grant }),
+        )),
+    )));
+    t.bind_addr(colluder, COLLUDER);
+    let ids: Vec<Addr> = (0..4).map(|j| Addr::new(67, j, 0, 1)).collect();
+    let make_shim: ShimFactory = Box::new(move |a| {
+        Box::new(TvaHostShim::new(a, HostConfig::default(), Box::new(AllowAll { grant })))
+    });
+    let attacker = t.add_node(Box::new(RotatingFlooder::new(
+        ids.clone(),
+        COLLUDER,
+        1_000_000,
+        SimDuration::from_millis(500),
+        make_shim,
+    )));
+    for id in ids {
+        t.bind_addr(attacker, id);
+    }
+    let d = SimDuration::from_millis(5);
+    t.link(
+        attacker,
+        router,
+        100_000_000,
+        d,
+        Box::new(DropTail::new(1 << 20)),
+        Box::new(TvaScheduler::new(100_000_000, &cfg)),
+    );
+    t.link(
+        router,
+        colluder,
+        10_000_000,
+        d,
+        Box::new(TvaScheduler::new(10_000_000, &cfg)),
+        Box::new(DropTail::new(1 << 20)),
+    );
+    let mut sim = t.build(4);
+    sim.kick(attacker, RotatingFlooder::TOKEN_ROTATE);
+    sim.run_until(SimTime::from_secs(10));
+
+    let f = sim.node::<RotatingFlooder>(attacker);
+    // 10 s at one rotation per 500 ms, minus scheduling slack.
+    assert!(f.rotations >= 15, "expected steady identity churn, got {}", f.rotations);
+    // 1 Mb/s of ~1 KB packets for 10 s ≈ 1250 packets; rebinds must not
+    // dent the rate (the grant supersedes each post-rotation probe backoff).
+    assert!(
+        f.flooded() > 800,
+        "the flood must survive identity rebinds at full rate, got {} packets",
+        f.flooded()
+    );
+    let r = sim.node::<TvaRouterNode>(router);
+    let table = r.router.table();
+    assert!(table.len() <= table.capacity());
+    table.audit().expect("router flow table must stay consistent under identity churn");
 }
 
 #[test]

@@ -1,0 +1,90 @@
+//! FlowTable behavior under rotating-identity churn: an attacker cycling
+//! through many (src, dst) identities mass-inserts and mass-expires
+//! entries far faster than legitimate traffic would. The table's two
+//! §3.6 guarantees must survive that regime:
+//!
+//! * **bounded memory** — `len() ≤ capacity` at every step, live entries
+//!   are never evicted, and only ttl-expired entries are reclaimed;
+//! * **index bijection** — the expiry index and the entry map stay in
+//!   exact one-to-one correspondence (what `audit()` proves), so reclaim
+//!   decisions always act on real state.
+
+use tva_core::FlowTable;
+use tva_sim::{SimDuration, SimTime};
+use tva_wire::{Addr, CapValue, FlowKey, FlowNonce, Grant};
+
+fn key(i: u64) -> FlowKey {
+    FlowKey {
+        src: Addr::new(67, (i / 250 % 250) as u8, (i / 62_500) as u8, (i % 250) as u8 + 1),
+        dst: Addr::new(10, 0, 0, 1),
+    }
+}
+
+#[test]
+fn mass_identity_churn_stays_bounded_and_bijective() {
+    const CAPACITY: usize = 64;
+    let mut table = FlowTable::new(CAPACITY);
+    let grant = Grant::from_parts(32, 10); // 32 KB / 10 s → ~0.45 s ttl per MTU
+    let mut admitted = 0u64;
+    let mut now = SimTime::ZERO;
+    let mut z = 0x5EEDu64;
+    for op in 0..10_000u64 {
+        // LCG-driven identity choice: 500 rotating flows against 64 slots.
+        z = z.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let i = z >> 33;
+        let flow = key(i % 500);
+        now += SimDuration::from_millis(25);
+        if table.create(flow, CapValue::new((i % 251) as u8, i), FlowNonce::new(i), grant, 1500, now)
+        {
+            admitted += 1;
+            table.charge(flow, 1500, now);
+        }
+        assert!(table.len() <= CAPACITY, "op {op}: table exceeded its bound");
+        if op % 64 == 0 {
+            table.audit().expect("entry/expiry-index bijection must hold mid-churn");
+        }
+    }
+    table.audit().expect("entry/expiry-index bijection must hold after churn");
+    assert!(table.len() <= CAPACITY);
+    assert!(admitted > 1_000, "churn must actually admit flows, got {admitted}");
+    assert!(table.reclaims > 0, "expired entries must be reclaimed to admit new identities");
+}
+
+#[test]
+fn full_table_of_live_entries_refuses_admission() {
+    // All slots filled at the same instant: every ttl is live, so a new
+    // identity must be refused rather than evict live state.
+    let mut table = FlowTable::new(8);
+    let grant = Grant::from_parts(1023, 10);
+    let now = SimTime::from_secs(1);
+    for i in 0..8 {
+        assert!(table.create(key(i), CapValue::new(1, i), FlowNonce::new(i), grant, 1500, now));
+    }
+    assert!(!table.create(key(99), CapValue::new(1, 99), FlowNonce::new(99), grant, 1500, now));
+    assert_eq!(table.admission_failures, 1);
+    assert_eq!(table.len(), 8);
+    table.audit().unwrap();
+}
+
+#[test]
+fn nonce_churn_cannot_launder_byte_budget() {
+    // Re-creating an entry with a fresh flow nonce but the *same*
+    // capability must carry the spent bytes over (§3.6: budgets attach to
+    // capabilities, not cache entries); only a renewed capability starts
+    // a fresh budget.
+    let mut table = FlowTable::new(8);
+    let grant = Grant::from_parts(1, 10); // 1 KB budget
+    let flow = key(1);
+    let cap = CapValue::new(1, 42);
+    let now = SimTime::from_secs(1);
+    assert!(table.create(flow, cap, FlowNonce::new(1), grant, 600, now));
+    assert!(
+        !table.create(flow, cap, FlowNonce::new(2), grant, 600, now),
+        "same capability: 600 carried + 600 new exceeds the 1024-byte budget"
+    );
+    assert!(
+        table.create(flow, CapValue::new(2, 43), FlowNonce::new(3), grant, 600, now),
+        "a renewed capability starts a fresh budget"
+    );
+    table.audit().unwrap();
+}

@@ -1,0 +1,55 @@
+//! Attack-strategy search: score strategic adversaries by damage per
+//! attacker byte across every scheme and report the Pareto frontier.
+//!
+//! ```text
+//! cargo run --release -p tva-experiments --bin attacks [-- --smoke|--quick|--full]
+//! ```
+//!
+//! * `--smoke` — one colluder + one pulse sample per scheme with pinned
+//!   parameters (the `scripts/verify.sh` tier).
+//! * `--quick` (default) — all six strategy families, a few samples each.
+//! * `--full` — more samples and a longer horizon per run.
+//!
+//! Output: `results/attacks.{tsv,json}` (one row per sampled strategy,
+//! frontier-flagged) and a deterministic replay artifact under
+//! `results/attacks-artifacts/` for every frontier point — each replayable
+//! bit-for-bit with `invcheck replay <artifact>`. The TVA colluder verdict
+//! (the paper's bounded-damage claim, scored with the NetFence-style
+//! worst-user completion fraction) prints at the end.
+
+use std::process::ExitCode;
+
+use tva_experiments::attacks::{run_search, validate_report_json, Budget, BOUNDED_FRACTION};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: attacks [--smoke|--quick|--full]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let budget = match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        [] | ["--quick"] => Budget::Quick,
+        ["--smoke"] => Budget::Smoke,
+        ["--full"] => Budget::Full,
+        _ => return usage(),
+    };
+    let report = run_search(budget);
+    match (report.tva_colluder_bounded, report.tva_colluder_worst_fraction) {
+        (Some(true), Some(worst)) => println!(
+            "TVA colluder damage: BOUNDED — worst per-user completion fraction \
+             {worst:.3} >= {BOUNDED_FRACTION:.2}"
+        ),
+        (Some(false), Some(worst)) => println!(
+            "TVA colluder damage: NOT bounded — worst per-user completion fraction \
+             {worst:.3} < {BOUNDED_FRACTION:.2} (see EXPERIMENTS.md, attack suite)"
+        ),
+        _ => {}
+    }
+    if let Err(e) = validate_report_json(report.points.len()) {
+        eprintln!("attacks: report self-validation failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("attacks: {} strategy points, report validated", report.points.len());
+    ExitCode::SUCCESS
+}

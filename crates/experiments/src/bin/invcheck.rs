@@ -22,7 +22,7 @@ use std::process::ExitCode;
 
 use tva_check::CheckConfig;
 use tva_experiments::check::{
-    artifact_json, random_config, read_artifact, replay, run_checked, scenario_to_json,
+    artifact_json, random_config, read_artifact, replay_full, run_checked, scenario_to_json,
     write_artifact,
 };
 
@@ -155,22 +155,50 @@ fn replay_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let observed = replay(&artifact, &CheckConfig::enabled_default());
+    let outcome = replay_full(&artifact, &CheckConfig::enabled_default());
     let recorded = &artifact.violated;
-    if observed == *recorded {
-        let verdict = if observed.is_empty() {
+    let violated_ok = outcome.violated == *recorded;
+    if violated_ok {
+        let verdict = if outcome.violated.is_empty() {
             "clean".to_string()
         } else {
-            format!("violated [{}]", observed.join(", "))
+            format!("violated [{}]", outcome.violated.join(", "))
         };
         println!("replay: verdict reproduced exactly — {verdict}");
-        ExitCode::SUCCESS
     } else {
         eprintln!(
             "replay: verdict MISMATCH — recorded [{}], observed [{}]",
             recorded.join(", "),
-            observed.join(", ")
+            outcome.violated.join(", ")
         );
+    }
+    // Frontier artifacts from the `attacks` search also carry the damage
+    // score's exact byte counts; the replay must reproduce them bit-for-bit.
+    let strategy_ok = match (&artifact.strategy, &outcome.strategy) {
+        (None, _) => true,
+        (Some(rec), Some(obs)) if rec == obs => {
+            println!(
+                "replay: strategy reproduced exactly — {}: damage {} B / attacker {} B \
+                 (score {:.6})",
+                rec.family,
+                rec.damage_bytes(),
+                rec.attacker_bytes,
+                rec.score()
+            );
+            true
+        }
+        (Some(rec), Some(obs)) => {
+            eprintln!("replay: strategy MISMATCH — recorded {rec:?}, observed {obs:?}");
+            false
+        }
+        (Some(rec), None) => {
+            eprintln!("replay: artifact records strategy {rec:?} but the rerun produced none");
+            false
+        }
+    };
+    if violated_ok && strategy_ok {
+        ExitCode::SUCCESS
+    } else {
         ExitCode::FAILURE
     }
 }

@@ -311,6 +311,21 @@ pub fn scenario_to_json(cfg: &ScenarioConfig) -> Value {
             "imprecise-staged"
         }
         Attack::Combined => "combined",
+        Attack::Pulse { period_ms, burst_ms } => {
+            m.insert("attack_period_ms".into(), num(period_ms));
+            m.insert("attack_burst_ms".into(), num(burst_ms));
+            "pulse"
+        }
+        Attack::FlashCrowd { ramp_secs } => {
+            m.insert("attack_ramp_secs".into(), num(ramp_secs));
+            "flash-crowd"
+        }
+        Attack::SpoofedRequestFlood => "spoofed-request-flood",
+        Attack::RotatingIdentity { rotate_ms, identities } => {
+            m.insert("attack_rotate_ms".into(), num(rotate_ms));
+            m.insert("attack_identities".into(), num(identities as u64));
+            "rotating-identity"
+        }
     };
     m.insert("attack".into(), Value::String(attack.into()));
     m.insert("n_attackers".into(), num(cfg.n_attackers as u64));
@@ -338,6 +353,11 @@ pub fn scenario_to_json(cfg: &ScenarioConfig) -> Value {
     if let Some(shards) = cfg.shards {
         m.insert("shards".into(), num(shards as u64));
     }
+    // Omitted when zero: pre-jitter artifacts stay parseable and the
+    // serialized form of every jitter-free config is unchanged.
+    if cfg.attack_phase_jitter_ms > 0 {
+        m.insert("attack_phase_jitter_ms".into(), num(cfg.attack_phase_jitter_ms));
+    }
     Value::Object(m)
 }
 
@@ -355,6 +375,16 @@ pub fn scenario_from_json(v: &Value) -> Result<ScenarioConfig, String> {
             wave_secs: get_u64(obj, "attack_wave_secs")?,
         },
         "combined" => Attack::Combined,
+        "pulse" => Attack::Pulse {
+            period_ms: get_u64(obj, "attack_period_ms")?,
+            burst_ms: get_u64(obj, "attack_burst_ms")?,
+        },
+        "flash-crowd" => Attack::FlashCrowd { ramp_secs: get_u64(obj, "attack_ramp_secs")? },
+        "spoofed-request-flood" => Attack::SpoofedRequestFlood,
+        "rotating-identity" => Attack::RotatingIdentity {
+            rotate_ms: get_u64(obj, "attack_rotate_ms")?,
+            identities: get_u64(obj, "attack_identities")? as usize,
+        },
         other => return Err(format!("unknown attack {other:?}")),
     };
     Ok(ScenarioConfig {
@@ -378,6 +408,7 @@ pub fn scenario_from_json(v: &Value) -> Result<ScenarioConfig, String> {
         deny_attackers: get_bool(obj, "deny_attackers")?,
         per_queue_cap_bytes: opt_u64(obj, "per_queue_cap_bytes"),
         shards: opt_u64(obj, "shards").map(|v| v as usize),
+        attack_phase_jitter_ms: opt_u64(obj, "attack_phase_jitter_ms").unwrap_or(0),
     })
 }
 
@@ -439,11 +470,78 @@ pub fn robustness_from_json(v: &Value) -> Result<RobustnessConfig, String> {
 // ---------------------------------------------------------------------------
 // Artifacts.
 
+/// The attack-strategy provenance of a replay artifact produced by the
+/// `attacks` strategy search: which family the configuration was sampled
+/// from, plus the exact integer byte counts behind its damage score. All
+/// three counts are deterministic functions of the configuration, so
+/// `invcheck replay` recomputes them and compares bit-for-bit — no
+/// side-channel state is needed to reproduce a frontier point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrategyRecord {
+    /// Strategy family label (e.g. "pulse", "colluder").
+    pub family: String,
+    /// Bytes the attackers offered (enqueued + dropped on their access
+    /// links) — the damage score's denominator.
+    pub attacker_bytes: u64,
+    /// Legitimate bytes delivered (completed transfers × file size) under
+    /// attack.
+    pub legit_bytes: u64,
+    /// Legitimate bytes delivered in the attack-free baseline of the same
+    /// configuration.
+    pub baseline_bytes: u64,
+}
+
+impl StrategyRecord {
+    /// Damage inflicted, in bytes of legitimate goodput destroyed.
+    pub fn damage_bytes(&self) -> u64 {
+        self.baseline_bytes.saturating_sub(self.legit_bytes)
+    }
+
+    /// Damage per attacker byte — the search's scalar score.
+    pub fn score(&self) -> f64 {
+        if self.attacker_bytes == 0 {
+            return 0.0;
+        }
+        self.damage_bytes() as f64 / self.attacker_bytes as f64
+    }
+
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("family".into(), Value::String(self.family.clone()));
+        m.insert("attacker_bytes".into(), num(self.attacker_bytes));
+        m.insert("legit_bytes".into(), num(self.legit_bytes));
+        m.insert("baseline_bytes".into(), num(self.baseline_bytes));
+        Value::Object(m)
+    }
+
+    fn from_json(v: &Value) -> Result<Self, String> {
+        let obj = as_object(v, "strategy")?;
+        Ok(StrategyRecord {
+            family: get_str(obj, "family")?.to_string(),
+            attacker_bytes: get_u64(obj, "attacker_bytes")?,
+            legit_bytes: get_u64(obj, "legit_bytes")?,
+            baseline_bytes: get_u64(obj, "baseline_bytes")?,
+        })
+    }
+}
+
 /// Composes the full replay-artifact document.
 pub fn artifact_json(
     harness: &str,
     config: Value,
     extras: Option<FuzzExtras>,
+    report: &CheckReport,
+) -> Value {
+    artifact_json_with_strategy(harness, config, extras, None, report)
+}
+
+/// [`artifact_json`] with an optional attack-strategy record (the
+/// `attacks` search stamps each frontier-point artifact this way).
+pub fn artifact_json_with_strategy(
+    harness: &str,
+    config: Value,
+    extras: Option<FuzzExtras>,
+    strategy: Option<&StrategyRecord>,
     report: &CheckReport,
 ) -> Value {
     let mut m = Map::new();
@@ -453,6 +551,9 @@ pub fn artifact_json(
     m.insert("config".into(), config);
     if let Some(extras) = extras {
         m.insert("extras".into(), extras.to_json());
+    }
+    if let Some(strategy) = strategy {
+        m.insert("strategy".into(), strategy.to_json());
     }
     m.insert("clean".into(), Value::Bool(report.is_clean()));
     m.insert(
@@ -514,6 +615,10 @@ pub struct Artifact {
     pub case: ReplayCase,
     /// Invariant labels the recorded run violated (the comparison key).
     pub violated: Vec<String>,
+    /// Attack-strategy provenance, present on `attacks`-search frontier
+    /// artifacts (the second comparison key: the replay must reproduce
+    /// the recorded byte counts exactly).
+    pub strategy: Option<StrategyRecord>,
 }
 
 /// Reads and validates a replay artifact.
@@ -546,17 +651,71 @@ pub fn read_artifact(path: &Path) -> Result<Artifact, String> {
             .collect::<Result<Vec<_>, _>>()?,
         _ => return Err("violated: expected an array".into()),
     };
-    Ok(Artifact { case, violated })
+    let strategy = match obj.get("strategy") {
+        Some(v) => Some(StrategyRecord::from_json(v)?),
+        None => None,
+    };
+    Ok(Artifact { case, violated, strategy })
+}
+
+/// What a replay observed: freshly computed violated invariants and, when
+/// the artifact carried a strategy record, the recomputed record (same
+/// family label, byte counts re-measured from the rerun).
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Violated-invariant labels from the rerun (empty = clean).
+    pub violated: Vec<String>,
+    /// Recomputed strategy record, for bit-exact comparison against the
+    /// artifact's recorded one.
+    pub strategy: Option<StrategyRecord>,
 }
 
 /// Re-runs an artifact's case under the auditors and returns the freshly
 /// observed violated-invariant labels (empty = clean).
 pub fn replay(artifact: &Artifact, check: &CheckConfig) -> Vec<String> {
-    let report = match &artifact.case {
-        ReplayCase::Scenario { cfg, extras } => run_checked(cfg, extras, check).1,
-        ReplayCase::Robustness { cfg } => run_robustness_checked(cfg, check).1,
-    };
-    report.violated_invariants().into_iter().map(str::to_string).collect()
+    replay_full(artifact, check).violated
+}
+
+/// [`replay`], but also recomputes the strategy record for artifacts that
+/// carry one: the attack run's byte counts come from the checked rerun,
+/// and the baseline bytes from a fresh attack-free run of the same
+/// configuration — everything a frontier point claims is re-derived from
+/// the config alone.
+pub fn replay_full(artifact: &Artifact, check: &CheckConfig) -> ReplayOutcome {
+    match &artifact.case {
+        ReplayCase::Scenario { cfg, extras } => {
+            let (result, report) = run_checked(cfg, extras, check);
+            let strategy = artifact.strategy.as_ref().map(|s| {
+                let base_cfg = crate::attacks::baseline_of(cfg);
+                let baseline = crate::scenario::run(&base_cfg);
+                StrategyRecord {
+                    family: s.family.clone(),
+                    attacker_bytes: result.attacker_offered_bytes,
+                    legit_bytes: crate::attacks::legit_bytes(cfg, &result),
+                    baseline_bytes: crate::attacks::legit_bytes(&base_cfg, &baseline),
+                }
+            });
+            ReplayOutcome {
+                violated: report
+                    .violated_invariants()
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect(),
+                strategy,
+            }
+        }
+        ReplayCase::Robustness { cfg } => {
+            let (_, report) = run_robustness_checked(cfg, check);
+            ReplayOutcome {
+                violated: report
+                    .violated_invariants()
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect(),
+                strategy: None,
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -578,7 +737,7 @@ fn chance(rng: &mut SmallRng, percent: u64) -> bool {
 pub fn random_config(seed: u64) -> (ScenarioConfig, FuzzExtras) {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xF0DD_C0DE);
     let scheme = Scheme::ALL[pick(&mut rng, 0, 4) as usize];
-    let attack = match pick(&mut rng, 0, 7) {
+    let attack = match pick(&mut rng, 0, 11) {
         0 => Attack::None,
         1 => Attack::LegacyFlood,
         2 => Attack::RequestFlood,
@@ -588,7 +747,20 @@ pub fn random_config(seed: u64) -> (ScenarioConfig, FuzzExtras) {
             groups: pick(&mut rng, 2, 5) as usize,
             wave_secs: pick(&mut rng, 2, 6),
         },
-        _ => Attack::Combined,
+        6 => Attack::Combined,
+        // The strategic adversaries (ROADMAP item 3) fuzz alongside the
+        // paper's attacks so every auditor also sees pulse phases, mimic
+        // ramps, forged path-id requests, and identity churn.
+        7 => Attack::Pulse {
+            period_ms: pick(&mut rng, 500, 1501),
+            burst_ms: pick(&mut rng, 40, 201),
+        },
+        8 => Attack::FlashCrowd { ramp_secs: pick(&mut rng, 1, 9) },
+        9 => Attack::SpoofedRequestFlood,
+        _ => Attack::RotatingIdentity {
+            rotate_ms: pick(&mut rng, 300, 3001),
+            identities: pick(&mut rng, 2, 7) as usize,
+        },
     };
     let duration_secs = pick(&mut rng, 12, 30);
     let cfg = ScenarioConfig {
@@ -619,6 +791,9 @@ pub fn random_config(seed: u64) -> (ScenarioConfig, FuzzExtras) {
         // the window scheduler sit under the same auditors as the single
         // loop; any shard count must reproduce the unsharded run exactly.
         shards: chance(&mut rng, 50).then(|| 1 << pick(&mut rng, 1, 4)),
+        // A quarter of runs de-synchronize the attacker population so wave
+        // phase-locking is covered as a config dimension, not an artifact.
+        attack_phase_jitter_ms: if chance(&mut rng, 25) { pick(&mut rng, 1, 501) } else { 0 },
     };
     let mut extras = FuzzExtras::default();
     if chance(&mut rng, 50) {
@@ -699,6 +874,63 @@ mod tests {
         }
         let _ = std::fs::remove_file(path);
         let _ = std::fs::remove_file(flight);
+    }
+
+    #[test]
+    fn new_attack_variants_roundtrip() {
+        for attack in [
+            Attack::Pulse { period_ms: 1000, burst_ms: 120 },
+            Attack::FlashCrowd { ramp_secs: 5 },
+            Attack::SpoofedRequestFlood,
+            Attack::RotatingIdentity { rotate_ms: 700, identities: 4 },
+        ] {
+            let cfg = ScenarioConfig {
+                attack,
+                attack_phase_jitter_ms: 250,
+                ..ScenarioConfig::default()
+            };
+            let back = scenario_from_json(&scenario_to_json(&cfg)).unwrap();
+            assert_eq!(back.attack, attack);
+            assert_eq!(back.attack_phase_jitter_ms, 250);
+        }
+        // Jitter-free configs serialize without the key at all, so every
+        // pre-jitter artifact and golden output is schema-stable.
+        let text =
+            serde_json::to_string(&scenario_to_json(&ScenarioConfig::default())).unwrap();
+        assert!(!text.contains("attack_phase_jitter_ms"));
+    }
+
+    #[test]
+    fn strategy_record_roundtrips_through_artifact() {
+        let (cfg, extras) = random_config(11);
+        let strategy = StrategyRecord {
+            family: "pulse".into(),
+            attacker_bytes: 123_456_789,
+            legit_bytes: 1_000_000,
+            baseline_bytes: 4_000_000,
+        };
+        let report = CheckReport::default();
+        let doc = artifact_json_with_strategy(
+            "scenario",
+            scenario_to_json(&cfg),
+            Some(extras),
+            Some(&strategy),
+            &report,
+        );
+        let dir = std::env::temp_dir().join("tva-check-test-strategy");
+        tva_obs::install_thread_flight(16);
+        let (path, flight) = write_artifact(&dir, "strategy-roundtrip", &doc).unwrap();
+        let art = read_artifact(&path).unwrap();
+        assert_eq!(art.strategy.as_ref(), Some(&strategy));
+        assert_eq!(strategy.damage_bytes(), 3_000_000);
+        assert!((strategy.score() - 3_000_000.0 / 123_456_789.0).abs() < 1e-12);
+        // Strategy-free artifacts keep parsing to None (old schema).
+        let plain = artifact_json("scenario", scenario_to_json(&cfg), Some(extras), &report);
+        let (p2, f2) = write_artifact(&dir, "strategy-none", &plain).unwrap();
+        assert!(read_artifact(&p2).unwrap().strategy.is_none());
+        for f in [path, flight, p2, f2] {
+            let _ = std::fs::remove_file(f);
+        }
     }
 
     #[test]

@@ -17,6 +17,8 @@
 #![warn(missing_docs)]
 
 #[cfg(feature = "check")]
+pub mod attacks;
+#[cfg(feature = "check")]
 pub mod check;
 pub mod figrun;
 pub mod figures;

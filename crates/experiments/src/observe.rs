@@ -21,6 +21,7 @@ use tva_obs::{
     to_jsonl, to_ns2, to_perfetto, Observe, ObsConfig, Registry, SeriesSet, TraceCollector,
 };
 use tva_sim::{ChannelId, SimDuration, SimTime, Simulator, TraceEvent, Tracer};
+use tva_transport::ServerNode;
 
 use crate::scenario::{run_driven, BuiltNodes, ScenarioConfig, ScenarioResult, Scheme};
 
@@ -55,6 +56,22 @@ struct PrevCounters {
     tx_bytes: u64,
     nonce_hits: u64,
     full_validations: u64,
+    delivered: u64,
+    attacker_offered: u64,
+}
+
+/// Bytes the attackers have offered so far: enqueued + dropped on each
+/// attacker access link (the same integer the damage score's denominator
+/// uses at run end).
+fn attacker_offered_so_far(sim: &Simulator, nodes: &BuiltNodes) -> u64 {
+    nodes
+        .attacker_links
+        .iter()
+        .map(|l| {
+            let st = &sim.channel(l.ab).stats;
+            st.enqueued_bytes + st.dropped_bytes
+        })
+        .sum()
 }
 
 fn scheme_cache_counters(sim: &Simulator, nodes: &BuiltNodes, scheme: Scheme) -> (u64, u64) {
@@ -78,6 +95,9 @@ pub fn run_observed(cfg: &ScenarioConfig, ocfg: &ObsConfig) -> ObservedRun {
     let drop_rate = series.column("bottleneck.drop_rate");
     let goodput = series.column("bottleneck.goodput_bps");
     let cache_rate = series.column("r1.cache_hit_rate");
+    let dest_goodput = series.column("dest.goodput_bps");
+    let attack_offered = series.column("attack.offered_bps");
+    let damage_per_byte = series.column("attack.damage_per_byte");
 
     // Slots the driver and inspect closures fill by shared borrow.
     let events_out: RefCell<Option<(Vec<TraceEvent>, u64)>> = RefCell::default();
@@ -148,12 +168,36 @@ pub fn run_observed(cfg: &ScenarioConfig, ocfg: &ObsConfig) -> ObservedRun {
                     cache_rate,
                     if d_total == 0 { 0.0 } else { d_hits as f64 / d_total as f64 },
                 );
+                // Attack-dynamics columns: destination goodput, attacker
+                // offered load, and an instantaneous damage-per-byte upper
+                // bound. "Damage" here is the bucket's unused bottleneck
+                // capacity attributed to attacker bytes — an upper bound
+                // (legitimate demand may simply be idle), useful for
+                // spotting *when* an attack bites; the exact damage score
+                // is the `attacks` search's whole-run baseline comparison.
+                let delivered = sim.node::<ServerNode>(nodes.dest).delivered_bytes();
+                let d_delivered = delivered - prev.delivered;
+                series.set(dest_goodput, d_delivered as f64 * 8.0 / dt);
+                let offered_bytes = attacker_offered_so_far(sim, nodes);
+                let d_offered = offered_bytes - prev.attacker_offered;
+                series.set(attack_offered, d_offered as f64 * 8.0 / dt);
+                let capacity_bytes = ch.bandwidth_bps as f64 / 8.0 * dt;
+                series.set(
+                    damage_per_byte,
+                    if d_offered == 0 {
+                        0.0
+                    } else {
+                        (capacity_bytes - d_delivered as f64).max(0.0) / d_offered as f64
+                    },
+                );
                 prev = PrevCounters {
                     enqueued: st.enqueued_pkts,
                     dropped: st.dropped_pkts,
                     tx_bytes: st.tx_bytes,
                     nonce_hits: hits,
                     full_validations: fulls,
+                    delivered,
+                    attacker_offered: offered_bytes,
                 };
 
                 // Anomaly predicate: a drop-rate spike dumps the last N
@@ -339,6 +383,32 @@ mod tests {
         // A clean TVA run validated traffic: cache metrics exist.
         assert!(observed.registry.counter_by_name("r1.nonce_hits").is_some());
         assert!(observed.registry.counter_by_name("bottleneck.tx_pkts").unwrap() > 0);
+    }
+
+    #[test]
+    fn attack_columns_track_offered_load() {
+        let cfg = ScenarioConfig {
+            scheme: Scheme::Internet,
+            attack: Attack::LegacyFlood,
+            n_attackers: 3,
+            n_users: 2,
+            transfers_per_user: 2,
+            duration: SimTime::from_secs(10),
+            ..ScenarioConfig::default()
+        };
+        let observed = run_observed(&cfg, &quiet_obs());
+        // 3 × 1 Mb/s CBR: buckets past startup carry attacker load.
+        let offered = observed.series.values("attack.offered_bps").unwrap();
+        assert!(offered.iter().any(|&v| v > 500_000.0));
+        let dest = observed.series.values("dest.goodput_bps").unwrap();
+        assert!(dest.iter().any(|&v| v > 0.0));
+        let dmg = observed.series.values("attack.damage_per_byte").unwrap();
+        assert!(dmg.iter().all(|&v| v >= 0.0));
+        // Attack-free runs chart flat zero attacker load.
+        let calm = ScenarioConfig { attack: Attack::None, n_attackers: 0, ..cfg };
+        let baseline = run_observed(&calm, &quiet_obs());
+        let offered = baseline.series.values("attack.offered_bps").unwrap();
+        assert!(offered.iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -16,18 +16,20 @@ use tva_baselines::{
     SiffScheduler, SiffShim,
 };
 use tva_core::{
-    AllowAll, AuthorizedFlooder, ClientPolicy, HostConfig, RouterConfig, ServerPolicy,
-    TvaHostShim, TvaRouterNode, TvaScheduler,
+    AllowAll, AuthorizedFlooder, ClientPolicy, HostConfig, RotatingFlooder, RouterConfig,
+    ServerPolicy, ShimFactory, TvaHostShim, TvaRouterNode, TvaScheduler,
 };
 use tva_sim::{
-    ChannelId, DropTail, LinkHandle, NodeId, QueueDisc, SimDuration, SimTime,
+    ChannelId, DropTail, LinkHandle, NodeId, PulseSchedule, QueueDisc, SimDuration, SimTime,
     TopologyBuilder,
 };
 use tva_transport::{
     summarize, ClientNode, FloodNode, NullShim, ServerNode, Shim, TcpConfig, TransferRecord,
     TransferSummary, TOKEN_START,
 };
-use tva_wire::{Addr, CapHeader, Grant, Packet, PacketId};
+use tva_wire::{
+    Addr, CapHeader, CapPayload, CapValue, Grant, Packet, PacketId, PathId, RequestEntry,
+};
 
 /// Which DoS-defense architecture the network runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,6 +85,46 @@ pub enum Attack {
     /// attackers flood legacy traffic, one third flood requests, one third
     /// flood colluder-authorized traffic — all §5 vectors simultaneously.
     Combined,
+    /// Shrew-style pulse flood (Kuzmanovic & Knightly; beyond the paper):
+    /// bursts timed near TCP retransmission timeouts so retries repeatedly
+    /// collide with an on-window. The configured attacker rate is the
+    /// long-run *average*; the on-window rate is scaled up by the inverse
+    /// duty cycle (capped at the access line rate), so attacker cost
+    /// matches a CBR flooder of the same rate.
+    Pulse {
+        /// Burst repetition period in ms (the shrew tunes this near the
+        /// RTO: `TcpConfig` min RTO is 200 ms, initial RTO / SYN timeout
+        /// 1 s).
+        period_ms: u64,
+        /// Burst length per period in ms.
+        burst_ms: u64,
+    },
+    /// Flash-crowd mimicry: attackers are byte-for-byte legitimate clients
+    /// (requests, capabilities, TCP transfers) whose arrivals ramp in over
+    /// a window — indistinguishable from a popular event, so any defense
+    /// that helps must do it via fairness, not filtering.
+    FlashCrowd {
+        /// Seconds over which attacker arrivals are spread.
+        ramp_secs: u64,
+    },
+    /// Request-channel exhaustion with forged path identifiers and cycled
+    /// spoofed sources (the path-validation survey's scenario): every
+    /// request pre-fills a bogus tagged path-identifier entry to smear
+    /// across downstream per-path fair queues, and the source address
+    /// rotates per packet to defeat source-keyed policing.
+    SpoofedRequestFlood,
+    /// Rotating-identity attacker: each attacker churns through a pool of
+    /// source addresses, abandoning all acquired capabilities at every
+    /// rotation and re-running the handshake under the next identity. This
+    /// thrashes router flow/capability tables and evades address-keyed
+    /// deny lists (`deny_attackers` only covers [`attacker_addr`], not
+    /// [`rot_addr`] — deliberately, to model the evasion).
+    RotatingIdentity {
+        /// Milliseconds between identity rotations.
+        rotate_ms: u64,
+        /// Identity pool size per attacker.
+        identities: usize,
+    },
 }
 
 /// Scenario parameters (defaults reproduce the paper's setup).
@@ -139,6 +181,13 @@ pub struct ScenarioConfig {
     /// must be identical for every value — the fuzzer varies it to prove
     /// that.
     pub shards: Option<usize>,
+    /// Per-attacker start-time jitter: each attacker's kick is delayed by
+    /// a deterministic, seed-derived offset uniform in `[0, this)` ms, so
+    /// synchronized CBR waves aren't an artifact of identical configs.
+    /// Zero (the default) keeps every attacker phase-locked to
+    /// `attack_start` — fig8/fig9 and robustness outputs stay
+    /// byte-identical.
+    pub attack_phase_jitter_ms: u64,
 }
 
 impl Default for ScenarioConfig {
@@ -164,6 +213,7 @@ impl Default for ScenarioConfig {
             deny_attackers: false,
             per_queue_cap_bytes: None,
             shards: None,
+            attack_phase_jitter_ms: 0,
         }
     }
 }
@@ -181,6 +231,11 @@ pub struct ScenarioResult {
     pub bottleneck_drop_rate: f64,
     /// Bottleneck utilization over the run.
     pub bottleneck_utilization: f64,
+    /// Total bytes the attackers *offered* to the network: enqueued plus
+    /// dropped on each attacker access link (attacker→R1 direction). This
+    /// is the denominator of the damage-per-attacker-byte score — an exact
+    /// integer, so replayed runs can compare it bit-for-bit.
+    pub attacker_offered_bytes: u64,
 }
 
 /// Well-known addresses.
@@ -195,6 +250,29 @@ fn user_addr(i: usize) -> Addr {
 /// Attacker addresses (public so policies can pre-deny them).
 pub fn attacker_addr(i: usize) -> Addr {
     Addr::new(66, 0, (i / 200) as u8, (i % 200) as u8 + 1)
+}
+
+/// Rotating-identity address for attacker `i`, identity `j`. A space
+/// disjoint from [`attacker_addr`] — identity churn is precisely an evasion
+/// of address-keyed filtering, so `deny_attackers` must not cover it.
+pub fn rot_addr(i: usize, j: usize) -> Addr {
+    Addr::new(67, j as u8, (i / 200) as u8, (i % 200) as u8 + 1)
+}
+
+/// Spoofed source cycled by [`Attack::SpoofedRequestFlood`]: a per-packet
+/// rotating address in a space disjoint from every real host, so replies
+/// go nowhere and source-keyed router state never converges.
+fn spoofed_src(attacker: usize, seq: u64) -> Addr {
+    Addr::new(68, attacker as u8, (seq / 250 % 250) as u8, (seq % 250) as u8 + 1)
+}
+
+/// SplitMix64 finalizer (local copy; the sim crate's is private). Used to
+/// derive deterministic per-attacker phase jitter from the scenario seed.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 const ACCESS_BPS: u64 = 100_000_000;
@@ -222,6 +300,9 @@ pub struct BuiltNodes {
     pub clients: Vec<NodeId>,
     /// Attackers, in index order.
     pub attackers: Vec<NodeId>,
+    /// Each attacker's access link, in index order (attacker→R1 direction
+    /// is `.ab` — where attacker offered-byte cost is measured).
+    pub attacker_links: Vec<LinkHandle>,
     /// The bottleneck link (r1→r2 direction is `.ab`).
     pub bottleneck: LinkHandle,
 }
@@ -294,6 +375,7 @@ struct Builder<'a> {
     kicks: Vec<(NodeId, u64, SimTime)>,
     clients: Vec<NodeId>,
     attackers: Vec<NodeId>,
+    attacker_links: Vec<LinkHandle>,
     tva_cfg1: RouterConfig,
     tva_cfg2: RouterConfig,
     siff_cfg: SiffConfig,
@@ -360,6 +442,7 @@ impl<'a> Builder<'a> {
             kicks: Vec::new(),
             clients: Vec::new(),
             attackers: Vec::new(),
+            attacker_links: Vec::new(),
             tva_cfg1,
             tva_cfg2,
             siff_cfg,
@@ -445,11 +528,29 @@ impl<'a> Builder<'a> {
         self.topo.link(node, via, ACCESS_BPS, LINK_DELAY, self.host_queue(), q_router)
     }
 
+    /// Start-time jitter for attacker `i` (satellite: `attack_phase_jitter`).
+    /// With `attack_phase_jitter_ms == 0` this is exactly `attack_start` —
+    /// bit-identical to the pre-jitter behavior.
+    fn jittered_start(&self, i: usize) -> SimTime {
+        let ms = self.cfg.attack_phase_jitter_ms;
+        if ms == 0 {
+            return self.cfg.attack_start;
+        }
+        let span_ns = ms * 1_000_000;
+        let j = mix64(self.cfg.seed ^ 0xA77A_C0DE ^ ((i as u64) << 1 | 1)) % span_ns;
+        self.cfg.attack_start + SimDuration::from_nanos(j)
+    }
+
     fn add_attackers(&mut self) {
         let cfg = self.cfg;
         let start = cfg.attack_start;
         for i in 0..cfg.n_attackers {
             let addr = attacker_addr(i);
+            // Which timer token the attacker is kicked with, and when.
+            // Most attackers start their pacing loop with token 0 at the
+            // (possibly jittered) attack start; variants override below.
+            let mut token = 0u64;
+            let mut kick = self.jittered_start(i);
             let node: NodeId = match cfg.attack {
                 Attack::None => break,
                 Attack::LegacyFlood => self.topo.add_node(Box::new(FloodNode::new(
@@ -535,10 +636,122 @@ impl<'a> Builder<'a> {
                     let flooder = self.authorized_flooder(addr, DEST, Some((w_start, w_end)));
                     self.topo.add_node(flooder)
                 }
+                Attack::Pulse { period_ms, burst_ms } => {
+                    // Clamp so hand-edited replay configs can't violate the
+                    // schedule's burst ≤ period contract.
+                    let period = period_ms.max(1);
+                    let burst = burst_ms.clamp(1, period);
+                    // Average rate stays at attacker_rate_bps: the
+                    // on-window rate is scaled by the inverse duty cycle,
+                    // capped at the access line rate.
+                    let duty_inv = period.div_ceil(burst);
+                    let on_rate = cfg
+                        .attacker_rate_bps
+                        .saturating_mul(duty_inv)
+                        .min(ACCESS_BPS);
+                    let schedule = PulseSchedule::new(
+                        kick,
+                        SimDuration::from_millis(period),
+                        SimDuration::from_millis(burst),
+                    );
+                    self.topo.add_node(Box::new(
+                        FloodNode::new(
+                            on_rate,
+                            Box::new(move |_now, _seq| {
+                                Some(Packet {
+                                    id: PacketId(0),
+                                    src: addr,
+                                    dst: DEST,
+                                    cap: None,
+                                    tcp: None,
+                                    payload_len: 980,
+                                })
+                            }),
+                        )
+                        .pulsed(schedule),
+                    ))
+                }
+                Attack::FlashCrowd { ramp_secs } => {
+                    // A mimic is literally a client: same shim, same TCP
+                    // transfer loop, aimed at the same destination. Only
+                    // the arrival pattern (a ramp) betrays the crowd.
+                    let shim = self.user_shim(addr);
+                    let n = cfg.n_attackers.max(1) as u64;
+                    let ramp_off = SimDuration::from_nanos(
+                        ramp_secs * 1_000_000_000 * (i as u64) / n,
+                    );
+                    token = TOKEN_START;
+                    kick += ramp_off;
+                    self.topo.add_node(Box::new(ClientNode::new(
+                        addr,
+                        DEST,
+                        cfg.file_size,
+                        cfg.transfers_per_user,
+                        TcpConfig::default(),
+                        shim,
+                    )))
+                }
+                Attack::SpoofedRequestFlood => self.topo.add_node(Box::new(FloodNode::new(
+                    cfg.attacker_rate_bps,
+                    Box::new(move |_now, seq| {
+                        let mut h = CapHeader::request();
+                        if let CapPayload::Request { entries } = &mut h.payload {
+                            // One forged tagged entry per request, cycling
+                            // tag values to smear across downstream
+                            // per-path fair queues.
+                            entries.push(RequestEntry {
+                                path_id: PathId((seq % 65_535 + 1) as u16),
+                                precap: CapValue::new((seq % 251) as u8, seq ^ 0x005E_0FED),
+                            });
+                        }
+                        Some(Packet {
+                            id: PacketId(0),
+                            src: spoofed_src(i, seq),
+                            dst: DEST,
+                            cap: Some(h),
+                            tcp: None,
+                            payload_len: 940,
+                        })
+                    }),
+                ))),
+                Attack::RotatingIdentity { rotate_ms, identities } => {
+                    let ids: Vec<Addr> =
+                        (0..identities.max(1)).map(|j| rot_addr(i, j)).collect();
+                    let scheme = cfg.scheme;
+                    let refresh = self.siff_refresh();
+                    let make_shim: ShimFactory = Box::new(move |a| match scheme {
+                        Scheme::Tva => Box::new(TvaHostShim::new(
+                            a,
+                            HostConfig::default(),
+                            Box::new(AllowAll { grant: Grant::from_parts(1023, 10) }),
+                        )),
+                        Scheme::Siff => Box::new(SiffShim::new(
+                            a,
+                            Box::new(AllowAll { grant: Grant::from_parts(1023, 10) }),
+                            refresh,
+                        )),
+                        Scheme::Pushback | Scheme::Internet => Box::new(NullShim),
+                    });
+                    token = RotatingFlooder::TOKEN_ROTATE;
+                    let node = self.topo.add_node(Box::new(RotatingFlooder::new(
+                        ids.clone(),
+                        DEST,
+                        cfg.attacker_rate_bps,
+                        SimDuration::from_millis(rotate_ms.max(1)),
+                        make_shim,
+                    )));
+                    // Every identity must route back to this node for grant
+                    // replies to land, whichever identity requested them.
+                    for id in ids {
+                        self.topo.bind_addr(node, id);
+                    }
+                    node
+                }
             };
-            self.attach_host(node, addr, self.r1);
+            let link = self.attach_host(node, addr, self.r1);
             self.attackers.push(node);
-            self.kicks.push((node, 0, start));
+            self.attacker_links.push(link);
+            self.kicks.push((node, token, kick));
         }
     }
 
@@ -682,6 +895,7 @@ impl<'a> Builder<'a> {
             dest,
             clients: self.clients.clone(),
             attackers: self.attackers.clone(),
+            attacker_links: self.attacker_links.clone(),
             bottleneck,
         };
         drive(&mut sim, &nodes);
@@ -710,6 +924,11 @@ impl<'a> Builder<'a> {
         }
         transfers.retain(|t| t.started >= cfg.measure_after);
         let summary = summarize(&transfers);
+        let mut attacker_offered_bytes = 0u64;
+        for l in &self.attacker_links {
+            let st = &sim.channel(l.ab).stats;
+            attacker_offered_bytes += st.enqueued_bytes + st.dropped_bytes;
+        }
         let st = &sim.channel(self.bottleneck.expect("bottleneck linked").ab).stats;
         ScenarioResult {
             summary,
@@ -717,6 +936,7 @@ impl<'a> Builder<'a> {
             per_user,
             bottleneck_drop_rate: st.drop_rate(),
             bottleneck_utilization: st.utilization(cfg.bottleneck_bps, sim.now()),
+            attacker_offered_bytes,
         }
     }
 }

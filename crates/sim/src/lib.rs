@@ -46,7 +46,7 @@ pub use engine::{Channel, Simulator};
 pub use event::{ChannelId, NodeId};
 pub use fault::{DutyCycleOutage, Impairments};
 pub use intern::AddrInterner;
-pub use node::{Ctx, Node, SinkNode};
+pub use node::{Ctx, Node, PulseSchedule, SinkNode};
 pub use pool::{pool_stats, Pkt, PoolStats};
 pub use queue::{DropTail, Enqueued, QueueDisc};
 pub use stats::ChannelStats;

@@ -9,7 +9,7 @@ use std::any::Any;
 
 use crate::event::{ChannelId, NodeId};
 use crate::pool::Pkt;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use tva_wire::Packet;
 
 /// A simulated network element.
@@ -81,6 +81,62 @@ pub trait Ctx {
     fn rng(&mut self) -> &mut dyn rand::RngCore;
 }
 
+/// A periodic on/off schedule for pulsed traffic sources (shrew-style
+/// attackers, duty-cycled probes): bursts of `burst` duration every
+/// `period`, phase-anchored at `start`. Instants before `start` are off.
+///
+/// This lives in the engine crate because it is pure scheduling — any node
+/// behavior that alternates activity windows (attack pulses, duty-cycled
+/// measurement traffic) shares the same arithmetic, and keeping it beside
+/// [`Node`] makes the contract clear: a scheduled behavior decides *in its
+/// timer callback* whether the current instant is an on-window, it never
+/// relies on the engine delivering extra edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PulseSchedule {
+    /// First burst begins here.
+    pub start: SimTime,
+    /// Burst repetition period.
+    pub period: SimDuration,
+    /// On-window length from each period boundary (must be ≤ `period`).
+    pub burst: SimDuration,
+}
+
+impl PulseSchedule {
+    /// Creates a schedule; `burst` must be nonzero and at most `period`.
+    pub fn new(start: SimTime, period: SimDuration, burst: SimDuration) -> Self {
+        assert!(period > SimDuration::ZERO, "pulse period must be positive");
+        assert!(
+            burst > SimDuration::ZERO && burst <= period,
+            "pulse burst must be in (0, period]"
+        );
+        PulseSchedule { start, period, burst }
+    }
+
+    /// Whether `now` falls inside an on-window.
+    pub fn active(&self, now: SimTime) -> bool {
+        if now < self.start {
+            return false;
+        }
+        let phase_ns = now.since(self.start).as_nanos() % self.period.as_nanos();
+        phase_ns < self.burst.as_nanos()
+    }
+
+    /// The earliest instant ≥ `now` inside an on-window (`now` itself when
+    /// already active).
+    pub fn next_on(&self, now: SimTime) -> SimTime {
+        if now < self.start {
+            return self.start;
+        }
+        let elapsed = now.since(self.start).as_nanos();
+        let phase = elapsed % self.period.as_nanos();
+        if phase < self.burst.as_nanos() {
+            return now;
+        }
+        let k = elapsed / self.period.as_nanos() + 1;
+        self.start + SimDuration::from_nanos(k * self.period.as_nanos())
+    }
+}
+
 /// A no-op node: drops everything. Useful as a placeholder and in tests.
 #[derive(Default)]
 pub struct SinkNode {
@@ -104,5 +160,44 @@ impl Node for SinkNode {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn pulse_schedule_windows() {
+        let s = PulseSchedule::new(
+            SimTime::from_secs(1),
+            SimDuration::from_millis(1000),
+            SimDuration::from_millis(100),
+        );
+        assert!(!s.active(at_ms(500)));
+        assert!(s.active(SimTime::from_secs(1)));
+        assert!(s.active(at_ms(1099)));
+        assert!(!s.active(at_ms(1100)));
+        assert!(s.active(at_ms(2050)));
+        // next_on: before start → start; inside a burst → now; in an
+        // off-phase → the next period boundary.
+        assert_eq!(s.next_on(SimTime::ZERO), SimTime::from_secs(1));
+        assert_eq!(s.next_on(at_ms(1050)), at_ms(1050));
+        assert_eq!(s.next_on(at_ms(1100)), SimTime::from_secs(2));
+        assert_eq!(s.next_on(at_ms(1999)), SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "burst")]
+    fn pulse_burst_longer_than_period_rejected() {
+        let _ = PulseSchedule::new(
+            SimTime::ZERO,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(200),
+        );
     }
 }

@@ -53,4 +53,13 @@ TVA_RESULTS_DIR=target/verify-obs/sharded TVA_SHARDS=4 \
 cmp target/verify-obs/off/fig8.tsv target/verify-obs/sharded/fig8.tsv
 cmp target/verify-obs/off/fig8.json target/verify-obs/sharded/fig8.json
 
+echo "==> attack-suite smoke (colluder + pulse per scheme, Pareto report + replay)"
+rm -rf target/verify-attacks
+TVA_RESULTS_DIR=target/verify-attacks \
+  cargo run --release -q -p tva-experiments --bin attacks -- --smoke
+test -s target/verify-attacks/attacks.tsv
+test -s target/verify-attacks/attacks.json
+cargo run --release -q -p tva-experiments --bin invcheck -- \
+  replay target/verify-attacks/attacks-artifacts/frontier-TVA-colluder-s0.json
+
 echo "verify: OK"

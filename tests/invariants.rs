@@ -219,6 +219,44 @@ proptest! {
         }
     }
 
+    /// Rotating-identity churn (the `RotatingFlooder` pattern): creates
+    /// stream in from a large rotating identity space, each with a freshly
+    /// renewed capability, against a small table. Memory stays bounded,
+    /// the expiry index stays bijective, and an admission is only ever
+    /// refused when the table is full of genuinely live entries — live
+    /// state is never evicted to make room for a new identity.
+    #[test]
+    fn identity_churn_never_evicts_live_entries(
+        ids in proptest::collection::vec(0u16..500, 1..400),
+        bound in 2usize..32,
+    ) {
+        let mut table = FlowTable::new(bound);
+        let grant = Grant::from_parts(8, 4);
+        let mut now = SimTime::ZERO;
+        for (i, id) in ids.iter().enumerate() {
+            now += SimDuration::from_millis(25);
+            let flow = FlowKey::new(Addr(*id as u32), DST);
+            // A fresh capability value per create: every admission starts a
+            // new budget, so a refusal can only mean "full of live entries".
+            let admitted = table.create(
+                flow,
+                CapValue::new(0, i as u64),
+                FlowNonce::new(i as u64),
+                grant,
+                1000,
+                now,
+            );
+            prop_assert!(table.len() <= bound);
+            if !admitted {
+                prop_assert_eq!(
+                    table.len(), bound,
+                    "admission refused while slots were free or expired"
+                );
+            }
+            prop_assert!(table.audit().is_ok(), "{}", table.audit().unwrap_err());
+        }
+    }
+
     /// A router demotes (never panics on) arbitrary garbage capability
     /// headers decoded from random bytes.
     #[test]
